@@ -1,0 +1,251 @@
+//! Gossip-style failure detection (van Renesse, Minsky & Hayden —
+//! related work §7 of the paper).
+//!
+//! Each member keeps a heartbeat counter per peer. Every round a
+//! member increments its own counter and sends its full table to a few
+//! random peers, which merge it (taking per-entry maxima). A peer
+//! whose counter has not advanced within `fail_after_rounds` is
+//! suspected. Gossip "tends to scale well and has no single point of
+//! failure" but must cope with uneven propagation — visible in this
+//! simulation as detection-time variance.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Gossip parameters.
+#[derive(Debug, Clone)]
+pub struct GossipConfig {
+    /// Peers gossiped to per round (fanout).
+    pub fanout: usize,
+    /// Rounds without counter advance before suspicion.
+    pub fail_after_rounds: u64,
+    /// RNG seed for peer selection.
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            fanout: 2,
+            fail_after_rounds: 6,
+            seed: 0x90551b,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MemberView {
+    /// Highest heartbeat counter seen per member.
+    heartbeats: Vec<u64>,
+    /// Round at which each counter last advanced.
+    last_advance: Vec<u64>,
+}
+
+/// A round-driven gossip failure-detection simulation.
+#[derive(Debug)]
+pub struct GossipFailureDetector {
+    config: GossipConfig,
+    alive: Vec<bool>,
+    views: Vec<MemberView>,
+    round: u64,
+    messages_sent: u64,
+    rng: StdRng,
+}
+
+impl GossipFailureDetector {
+    /// Creates `n` live members.
+    pub fn new(n: usize, config: GossipConfig) -> Self {
+        let views = (0..n)
+            .map(|_| MemberView {
+                heartbeats: vec![0; n],
+                last_advance: vec![0; n],
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(config.seed);
+        GossipFailureDetector {
+            config,
+            alive: vec![true; n],
+            views,
+            round: 0,
+            messages_sent: 0,
+            rng,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Whether the system has no members.
+    pub fn is_empty(&self) -> bool {
+        self.alive.is_empty()
+    }
+
+    /// Completed gossip rounds.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Gossip messages exchanged so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Kills a member.
+    pub fn kill(&mut self, idx: usize) {
+        self.alive[idx] = false;
+    }
+
+    /// Runs one gossip round: live members bump their own counter and
+    /// push their table to `fanout` random peers.
+    pub fn run_round(&mut self) {
+        self.round += 1;
+        let n = self.len();
+        // 1. Live members increment their own heartbeat.
+        for i in 0..n {
+            if self.alive[i] {
+                self.views[i].heartbeats[i] += 1;
+                self.views[i].last_advance[i] = self.round;
+            }
+        }
+        // 2. Each live member gossips to random peers.
+        for i in 0..n {
+            if !self.alive[i] {
+                continue;
+            }
+            for _ in 0..self.config.fanout {
+                let peer = self.rng.random_range(0..n);
+                if peer == i {
+                    continue;
+                }
+                self.messages_sent += 1;
+                // Merge i's table into peer's (max per entry).
+                let src = self.views[i].heartbeats.clone();
+                let dst = &mut self.views[peer];
+                for (m, &hb) in src.iter().enumerate() {
+                    if hb > dst.heartbeats[m] {
+                        dst.heartbeats[m] = hb;
+                        dst.last_advance[m] = self.round;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether `observer` suspects `target` at the current round.
+    pub fn suspects(&self, observer: usize, target: usize) -> bool {
+        let last = self.views[observer].last_advance[target];
+        self.round.saturating_sub(last) >= self.config.fail_after_rounds
+    }
+
+    /// Fraction of live members that suspect `target` (gossip needs a
+    /// majority for a consensus verdict, per GEMS).
+    pub fn suspicion_fraction(&self, target: usize) -> f64 {
+        let live: Vec<usize> = (0..self.len())
+            .filter(|&i| self.alive[i] && i != target)
+            .collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        let suspecting = live.iter().filter(|&&i| self.suspects(i, target)).count();
+        suspecting as f64 / live.len() as f64
+    }
+
+    /// Runs rounds until a majority of live members suspect `target`,
+    /// returning the number of rounds taken (capped at `max_rounds`).
+    pub fn rounds_until_majority_suspicion(&mut self, target: usize, max_rounds: u64) -> u64 {
+        let start = self.round;
+        while self.round - start < max_rounds {
+            self.run_round();
+            if self.suspicion_fraction(target) > 0.5 {
+                return self.round - start;
+            }
+        }
+        max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_members_are_not_suspected() {
+        let mut g = GossipFailureDetector::new(10, GossipConfig::default());
+        for _ in 0..30 {
+            g.run_round();
+        }
+        for i in 0..10 {
+            for j in 0..10 {
+                if i != j {
+                    assert!(!g.suspects(i, j), "{i} suspects {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_member_reaches_majority_suspicion() {
+        let mut g = GossipFailureDetector::new(10, GossipConfig::default());
+        for _ in 0..10 {
+            g.run_round();
+        }
+        g.kill(3);
+        let rounds = g.rounds_until_majority_suspicion(3, 100);
+        assert!(rounds < 100, "never suspected");
+        // Detection needs at least fail_after_rounds of silence.
+        assert!(rounds >= GossipConfig::default().fail_after_rounds);
+        assert!(g.suspicion_fraction(3) > 0.5);
+    }
+
+    #[test]
+    fn message_complexity_is_linear_in_members() {
+        // Gossip sends n*fanout messages per round — linear, unlike
+        // the naive scheme's quadratic blow-up.
+        let mut g = GossipFailureDetector::new(50, GossipConfig::default());
+        g.run_round();
+        assert!(g.messages_sent() <= 50 * 2);
+    }
+
+    #[test]
+    fn gossip_spreads_heartbeats_transitively() {
+        let mut g = GossipFailureDetector::new(20, GossipConfig::default());
+        for _ in 0..20 {
+            g.run_round();
+        }
+        // After many rounds, everyone has heard (transitively) from
+        // everyone: all counters are positive.
+        for i in 0..20 {
+            for j in 0..20 {
+                assert!(g.views[i].heartbeats[j] > 0, "{i} never heard of {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_time_varies_with_fanout() {
+        let slow_cfg = GossipConfig {
+            fanout: 1,
+            ..GossipConfig::default()
+        };
+        let fast_cfg = GossipConfig {
+            fanout: 5,
+            ..GossipConfig::default()
+        };
+        let mut slow = GossipFailureDetector::new(30, slow_cfg);
+        let mut fast = GossipFailureDetector::new(30, fast_cfg);
+        for g in [&mut slow, &mut fast] {
+            for _ in 0..10 {
+                g.run_round();
+            }
+            g.kill(7);
+        }
+        let slow_rounds = slow.rounds_until_majority_suspicion(7, 200);
+        let fast_rounds = fast.rounds_until_majority_suspicion(7, 200);
+        assert!(
+            fast_rounds <= slow_rounds,
+            "fanout 5 ({fast_rounds}) should not detect slower than fanout 1 ({slow_rounds})"
+        );
+    }
+}

@@ -1,0 +1,22 @@
+//! # nb-baseline — comparison schemes
+//!
+//! Two baselines the paper positions itself against:
+//!
+//! * [`naive::NaiveHeartbeatSystem`] — §1's "simplest scheme": every
+//!   entity broadcasts a heartbeat to every other entity each period,
+//!   producing N×(N−1) messages per round. Its message complexity is
+//!   what motivates the interest-gated, broker-mediated design.
+//! * [`gossip::GossipFailureDetector`] — the gossip-style failure
+//!   detection of van Renesse et al. (related work §7): members
+//!   exchange heartbeat tables with random peers; a member whose
+//!   heartbeat hasn't advanced within the timeout is suspected.
+//!
+//! Both are deliberately simulation-grade (no sockets): the benches
+//! compare *message complexity and detection behaviour*, not wire
+//! throughput.
+
+pub mod gossip;
+pub mod naive;
+
+pub use gossip::{GossipConfig, GossipFailureDetector};
+pub use naive::{NaiveConfig, NaiveHeartbeatSystem};

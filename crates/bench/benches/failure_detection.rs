@@ -1,0 +1,77 @@
+//! Criterion benchmarks over the failure-detection state machine,
+//! plus the DESIGN.md ablation: adaptive vs fixed ping intervals →
+//! (virtual) time to detection.
+
+#![allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nb_tracing::config::TracingConfig;
+use nb_tracing::failure::{DetectorEvent, FailureDetector};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Simulates a crash under virtual time and reports how long the
+/// detector takes to reach FAILED, with or without interval
+/// adaptation.
+fn virtual_time_to_detection(adaptive: bool) -> u64 {
+    let mut config = TracingConfig::default();
+    config.ping_interval = Duration::from_millis(500);
+    config.response_timeout = Duration::from_millis(250);
+    if !adaptive {
+        // Disable adaptation by flooring the minimum at the base.
+        config.min_ping_interval = config.ping_interval;
+    } else {
+        config.min_ping_interval = Duration::from_millis(50);
+    }
+    let mut detector = FailureDetector::new(&config);
+
+    // Healthy phase.
+    let mut now = 0u64;
+    for _ in 0..10 {
+        let seq = detector.on_ping_sent(now);
+        detector.on_response(seq, now + 2);
+        now += 500;
+    }
+    // Crash at `crash_time`: no more responses.
+    let crash_time = now;
+    loop {
+        now += 10;
+        if let Some(DetectorEvent::Fail) = detector.on_tick(now) {
+            return now - crash_time;
+        }
+        if detector.ping_due(now) {
+            detector.on_ping_sent(now);
+        }
+        assert!(now < crash_time + 60_000, "detector never fired");
+    }
+}
+
+fn bench_detector(c: &mut Criterion) {
+    // Print the ablation result once (deterministic virtual time).
+    let adaptive_ms = virtual_time_to_detection(true);
+    let fixed_ms = virtual_time_to_detection(false);
+    println!(
+        "\n[ablation] time-to-detection after crash: adaptive interval = {adaptive_ms} ms, \
+         fixed interval = {fixed_ms} ms (adaptive must be ≤ fixed)\n"
+    );
+    assert!(adaptive_ms <= fixed_ms);
+
+    let config = TracingConfig::default();
+    c.bench_function("detector_healthy_cycle", |b| {
+        let mut d = FailureDetector::new(&config);
+        let mut now = 0u64;
+        b.iter(|| {
+            let seq = d.on_ping_sent(now);
+            d.on_response(seq, now + 2);
+            now += 500;
+            black_box(d.on_tick(now));
+        })
+    });
+
+    c.bench_function("detector_crash_to_failed", |b| {
+        b.iter(|| black_box(virtual_time_to_detection(true)))
+    });
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

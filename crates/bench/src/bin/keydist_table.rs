@@ -1,0 +1,79 @@
+//! **Table 3 (bottom)** — key distribution overhead at 2, 3 and 4
+//! hops.
+//!
+//! Secured tracing requires the broker to deliver the secret trace key
+//! to each authorized tracker (§5.1): the tracker's interest response
+//! travels to the hosting broker, which seals the key to the tracker's
+//! public key and publishes it back. We measure tracker start →
+//! key-in-hand, per fresh tracker.
+//!
+//! Expected shape (paper): grows with hops and shows much higher
+//! variance than plain trace routing (it includes an RSA seal/unseal
+//! per tracker plus a full round trip).
+
+#![allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
+
+use nb_bench::{print_header, print_row, sample_count, wait_trace_key, Stats};
+use nb_tracing::config::{SigningMode, TracingConfig};
+use nb_tracing::harness::{Deployment, Topology};
+use nb_transport::clock::system_clock;
+use nb_transport::sim::LinkConfig;
+use nb_wire::payload::DiscoveryRestrictions;
+use nb_wire::trace::TraceCategory;
+use std::time::Duration;
+
+fn run_hops(hops: usize, samples: usize) -> Option<Stats> {
+    let mut config = TracingConfig::default();
+    config.rsa_bits = 1024;
+    let dep = Deployment::new(
+        Topology::Chain(hops),
+        LinkConfig::default(),
+        system_clock(),
+        config,
+    )
+    .ok()?;
+    let _entity = dep
+        .traced_entity(
+            0,
+            "keyed-entity",
+            DiscoveryRestrictions::Open,
+            SigningMode::RsaSign,
+            true, // secured: trace key exists and must be distributed
+        )
+        .ok()?;
+
+    let mut latencies = Vec::with_capacity(samples);
+    for i in 0..samples {
+        // Each sample is a brand-new tracker receiving the key.
+        let tracker = dep
+            .tracker(
+                hops - 1,
+                &format!("key-tracker-{i}"),
+                "keyed-entity",
+                vec![TraceCategory::AllUpdates],
+            )
+            .ok()?;
+        if let Some(ms) = wait_trace_key(&tracker, Duration::from_secs(20)) {
+            latencies.push(ms);
+        }
+        tracker.stop();
+    }
+    if latencies.is_empty() {
+        None
+    } else {
+        Some(Stats::from_samples(&latencies))
+    }
+}
+
+fn main() {
+    let samples = sample_count(20);
+    println!("== Table 3 (bottom): key distribution overhead ==");
+    println!("(tracker start → sealed trace key unsealed; {samples} fresh trackers per point)");
+    print_header("Key Distribution Overhead", "ms");
+    for hops in 2..=4 {
+        match run_hops(hops, samples) {
+            Some(stats) => print_row(&format!("{hops}-hops"), &stats),
+            None => println!("{hops}-hops: MEASUREMENT FAILED"),
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Broker discovery (Ref \[3\] of the paper).
+//!
+//! Entities must "securely discover a valid broker within the broker
+//! network" before registering for tracing. We model the discovery
+//! service as a directory of **signed broker records**: each broker
+//! registers a certificate issued by the deployment CA together with
+//! its advertised load; entities pick the least-loaded broker whose
+//! certificate chains to the CA.
+
+use crate::Result;
+use nb_crypto::cert::Certificate;
+use nb_crypto::rsa::RsaPublicKey;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A broker's directory entry.
+#[derive(Debug, Clone)]
+pub struct BrokerRecord {
+    /// Broker identifier (matches [`crate::Broker::id`]).
+    pub broker_id: String,
+    /// The broker's CA-issued certificate.
+    pub certificate: Certificate,
+    /// Advertised load (attached clients); lower is preferred.
+    pub load: usize,
+}
+
+/// An in-process broker directory.
+///
+/// Cheap to clone; all clones share state (the directory is a logical
+/// singleton service in a deployment).
+#[derive(Clone, Default)]
+pub struct BrokerDirectory {
+    records: Arc<RwLock<HashMap<String, BrokerRecord>>>,
+}
+
+impl BrokerDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or refreshes) a broker record.
+    pub fn register(&self, record: BrokerRecord) {
+        self.records
+            .write()
+            .insert(record.broker_id.clone(), record);
+    }
+
+    /// Removes a broker (failure or shutdown).
+    pub fn deregister(&self, broker_id: &str) {
+        self.records.write().remove(broker_id);
+    }
+
+    /// Updates a broker's advertised load.
+    pub fn update_load(&self, broker_id: &str, load: usize) {
+        if let Some(r) = self.records.write().get_mut(broker_id) {
+            r.load = load;
+        }
+    }
+
+    /// Secure discovery: returns the least-loaded broker whose
+    /// certificate verifies against `ca_key` at `now_ms`, or `None`
+    /// when no valid broker exists.
+    pub fn discover(&self, ca_key: &RsaPublicKey, now_ms: u64) -> Option<BrokerRecord> {
+        self.records
+            .read()
+            .values()
+            .filter(|r| r.certificate.verify(ca_key, now_ms).is_ok())
+            .min_by_key(|r| r.load)
+            .cloned()
+    }
+
+    /// Looks up a specific broker, verifying its certificate.
+    pub fn lookup(
+        &self,
+        broker_id: &str,
+        ca_key: &RsaPublicKey,
+        now_ms: u64,
+    ) -> Result<Option<BrokerRecord>> {
+        let records = self.records.read();
+        match records.get(broker_id) {
+            None => Ok(None),
+            Some(r) => {
+                r.certificate
+                    .verify(ca_key, now_ms)
+                    .map_err(nb_wire::WireError::Crypto)?;
+                Ok(Some(r.clone()))
+            }
+        }
+    }
+
+    /// Number of registered brokers.
+    pub fn len(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_crypto::cert::{CertificateAuthority, Validity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const NOW: u64 = 1_700_000_000_000;
+
+    fn setup() -> (CertificateAuthority, BrokerDirectory) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let ca = CertificateAuthority::new(
+            "ca",
+            512,
+            Validity::starting_now(NOW - 1000, 1 << 40),
+            &mut rng,
+        )
+        .unwrap();
+        (ca, BrokerDirectory::new())
+    }
+
+    fn record(ca: &mut CertificateAuthority, id: &str, load: usize) -> BrokerRecord {
+        let mut rng = StdRng::seed_from_u64(id.len() as u64 * 7 + load as u64);
+        let cred = ca
+            .issue(
+                &format!("broker:{id}"),
+                Validity::starting_now(NOW - 1000, 1 << 40),
+                &mut rng,
+            )
+            .unwrap();
+        BrokerRecord {
+            broker_id: id.to_string(),
+            certificate: cred.certificate,
+            load,
+        }
+    }
+
+    #[test]
+    fn discovery_prefers_least_loaded() {
+        let (mut ca, dir) = setup();
+        dir.register(record(&mut ca, "b1", 10));
+        dir.register(record(&mut ca, "b2", 3));
+        dir.register(record(&mut ca, "b3", 7));
+        let ca_key = ca.certificate().public_key.clone();
+        let found = dir.discover(&ca_key, NOW).unwrap();
+        assert_eq!(found.broker_id, "b2");
+    }
+
+    #[test]
+    fn brokers_with_invalid_certificates_are_skipped() {
+        let (mut ca, dir) = setup();
+        let mut bad = record(&mut ca, "bad", 0);
+        bad.certificate.subject = "broker:imposter".to_string(); // breaks signature
+        dir.register(bad);
+        dir.register(record(&mut ca, "good", 99));
+        let ca_key = ca.certificate().public_key.clone();
+        assert_eq!(dir.discover(&ca_key, NOW).unwrap().broker_id, "good");
+    }
+
+    #[test]
+    fn empty_directory_discovers_nothing() {
+        let (ca, dir) = setup();
+        assert!(dir.is_empty());
+        assert!(dir
+            .discover(&ca.certificate().public_key, NOW)
+            .is_none());
+    }
+
+    #[test]
+    fn load_updates_shift_preference() {
+        let (mut ca, dir) = setup();
+        dir.register(record(&mut ca, "b1", 1));
+        dir.register(record(&mut ca, "b2", 2));
+        let ca_key = ca.certificate().public_key.clone();
+        assert_eq!(dir.discover(&ca_key, NOW).unwrap().broker_id, "b1");
+        dir.update_load("b1", 50);
+        assert_eq!(dir.discover(&ca_key, NOW).unwrap().broker_id, "b2");
+    }
+
+    #[test]
+    fn deregistration_removes_brokers() {
+        let (mut ca, dir) = setup();
+        dir.register(record(&mut ca, "b1", 1));
+        assert_eq!(dir.len(), 1);
+        dir.deregister("b1");
+        assert!(dir.is_empty());
+    }
+
+    #[test]
+    fn lookup_verifies_certificates() {
+        let (mut ca, dir) = setup();
+        dir.register(record(&mut ca, "b1", 1));
+        let ca_key = ca.certificate().public_key.clone();
+        assert!(dir.lookup("b1", &ca_key, NOW).unwrap().is_some());
+        assert!(dir.lookup("nope", &ca_key, NOW).unwrap().is_none());
+        // Expired view of the world: verification fails.
+        assert!(dir.lookup("b1", &ca_key, u64::MAX).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (mut ca, dir) = setup();
+        let dir2 = dir.clone();
+        dir.register(record(&mut ca, "b1", 1));
+        assert_eq!(dir2.len(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # nb-broker — the publish/subscribe broker network
+//!
+//! A NaradaBrokering-style distributed message-oriented middleware
+//! (paper §2): cooperating broker nodes route topic-addressed messages
+//! from producers to exactly the consumers that registered interest.
+//! Entities attach to one broker and funnel all their traffic through
+//! it; brokers propagate subscription interest to their neighbours and
+//! forward content along links with matching interest.
+//!
+//! On top of plain routing this crate enforces the paper's security
+//! machinery at the substrate level:
+//!
+//! * **constrained topics** (§3.1): publish/subscribe attempts by
+//!   non-constrainers are refused,
+//! * **authorization tokens** (§4.3/§5.2): broker-published traces on
+//!   `Publish-Only` trace topics must carry a token; messages arriving
+//!   from neighbours without one are discarded and never routed,
+//! * **DoS containment** (§5.2): clients making repeated bogus
+//!   attempts are disconnected.
+//!
+//! Topology note: subscription propagation assumes an acyclic broker
+//! mesh (chains, stars, trees — the shapes used in the paper's
+//! benchmarks). Cycles would need a spanning-tree protocol, which the
+//! paper does not describe.
+
+pub mod client;
+pub mod discovery;
+pub mod error;
+pub mod network;
+pub mod node;
+pub mod subscription;
+
+pub use client::BrokerClient;
+pub use error::BrokerError;
+pub use node::{Broker, BrokerConfig, BrokerStats};
+pub use subscription::SubscriptionTable;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, BrokerError>;

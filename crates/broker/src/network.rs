@@ -1,0 +1,195 @@
+//! Topology builders for multi-broker deployments — the shapes used in
+//! the paper's benchmarks: chains for the hop-count sweeps (Figure 1),
+//! stars for the tracker-scaling runs (Figure 3).
+//!
+//! Links can run over three media, mirroring the paper's transport
+//! comparison: the deterministic simulated network (default), real TCP
+//! over loopback, or real UDP over loopback.
+
+use crate::client::BrokerClient;
+use crate::node::{Broker, BrokerConfig};
+use crate::Result;
+use nb_transport::clock::SharedClock;
+use nb_transport::endpoint::Endpoint;
+use nb_transport::sim::{LinkConfig, SimNetwork};
+use nb_transport::{tcp, udp, TransportError};
+use std::time::Duration;
+
+/// The link medium for a broker network.
+#[derive(Debug, Clone, Copy)]
+pub enum Medium {
+    /// In-process simulated links with the given behaviour.
+    Sim(LinkConfig),
+    /// Real TCP streams over 127.0.0.1 (length-prefixed frames).
+    Tcp,
+    /// Real UDP datagrams over 127.0.0.1.
+    Udp,
+}
+
+impl Medium {
+    fn pair(&self, net: &SimNetwork) -> Result<(Endpoint, Endpoint)> {
+        match self {
+            Medium::Sim(cfg) => Ok(net.symmetric_link(*cfg)),
+            Medium::Tcp => {
+                let listener = tcp::TcpTransportListener::bind("127.0.0.1:0")?;
+                let addr = listener.local_addr()?;
+                let client = std::thread::spawn(move || tcp::connect(addr));
+                let server = listener.accept()?;
+                let client = client
+                    .join()
+                    .map_err(|_| TransportError::Closed)?
+                    .map_err(crate::BrokerError::Transport)?;
+                Ok((server, client))
+            }
+            Medium::Udp => Ok(udp::loopback_pair()?),
+        }
+    }
+}
+
+/// A set of brokers wired over one medium.
+pub struct BrokerNetwork {
+    /// The broker nodes, in construction order.
+    pub brokers: Vec<Broker>,
+    net: SimNetwork,
+    clock: SharedClock,
+    medium: Medium,
+}
+
+impl BrokerNetwork {
+    /// Builds a chain `b0 — b1 — … — b(n-1)` over simulated links.
+    pub fn chain(
+        n: usize,
+        link_cfg: LinkConfig,
+        clock: SharedClock,
+        broker_cfg: BrokerConfig,
+    ) -> Self {
+        Self::chain_over(n, Medium::Sim(link_cfg), clock, broker_cfg)
+            .expect("sim chain construction cannot fail")
+    }
+
+    /// Builds a chain over an arbitrary medium.
+    pub fn chain_over(
+        n: usize,
+        medium: Medium,
+        clock: SharedClock,
+        broker_cfg: BrokerConfig,
+    ) -> Result<Self> {
+        assert!(n >= 1);
+        let net = SimNetwork::new(0x10b0);
+        let brokers: Vec<Broker> = (0..n)
+            .map(|i| Broker::new(format!("broker-{i}"), clock.clone(), broker_cfg.clone()))
+            .collect();
+        for i in 0..n.saturating_sub(1) {
+            let (a, b) = medium.pair(&net)?;
+            brokers[i].connect_neighbor(a);
+            brokers[i + 1].connect_neighbor(b);
+        }
+        Ok(BrokerNetwork {
+            brokers,
+            net,
+            clock,
+            medium,
+        })
+    }
+
+    /// Builds a star over simulated links: broker 0 is the hub,
+    /// brokers `1..=leaves` are spokes.
+    pub fn star(
+        leaves: usize,
+        link_cfg: LinkConfig,
+        clock: SharedClock,
+        broker_cfg: BrokerConfig,
+    ) -> Self {
+        Self::star_over(leaves, Medium::Sim(link_cfg), clock, broker_cfg)
+            .expect("sim star construction cannot fail")
+    }
+
+    /// Builds a star over an arbitrary medium.
+    pub fn star_over(
+        leaves: usize,
+        medium: Medium,
+        clock: SharedClock,
+        broker_cfg: BrokerConfig,
+    ) -> Result<Self> {
+        let net = SimNetwork::new(0x57a7);
+        let brokers: Vec<Broker> = (0..=leaves)
+            .map(|i| Broker::new(format!("broker-{i}"), clock.clone(), broker_cfg.clone()))
+            .collect();
+        for i in 1..=leaves {
+            let (a, b) = medium.pair(&net)?;
+            brokers[0].connect_neighbor(a);
+            brokers[i].connect_neighbor(b);
+        }
+        Ok(BrokerNetwork {
+            brokers,
+            net,
+            clock,
+            medium,
+        })
+    }
+
+    /// A broker by index.
+    pub fn broker(&self, idx: usize) -> &Broker {
+        &self.brokers[idx]
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Whether the network has no brokers.
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// Attaches a new client to broker `idx` over the network's
+    /// default medium.
+    pub fn attach_client(&self, idx: usize, client_id: &str) -> Result<BrokerClient> {
+        self.attach_client_over(idx, client_id, self.medium)
+    }
+
+    /// Attaches a client over a custom-behaviour simulated link.
+    pub fn attach_client_with(
+        &self,
+        idx: usize,
+        client_id: &str,
+        link_cfg: LinkConfig,
+    ) -> Result<BrokerClient> {
+        self.attach_client_over(idx, client_id, Medium::Sim(link_cfg))
+    }
+
+    /// Attaches a client over an explicit medium.
+    pub fn attach_client_over(
+        &self,
+        idx: usize,
+        client_id: &str,
+        medium: Medium,
+    ) -> Result<BrokerClient> {
+        let (broker_side, client_side) = medium.pair(&self.net)?;
+        self.brokers[idx].attach_client(broker_side);
+        BrokerClient::attach(
+            client_side,
+            client_id,
+            self.clock.clone(),
+            Duration::from_secs(5),
+        )
+    }
+
+    /// Waits until every broker has seen its expected neighbours
+    /// (simple startup barrier for tests/benches).
+    pub fn wait_for_mesh(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let total_links: usize = self.brokers.iter().map(|b| b.neighbor_count()).sum();
+            let expected = 2 * (self.brokers.len().saturating_sub(1));
+            if total_links >= expected {
+                return true;
+            }
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}

@@ -1,0 +1,822 @@
+//! The broker node: client attachment, neighbour links, routing,
+//! constrained-topic enforcement, token checks, and DoS containment.
+
+use crate::error::BrokerError;
+use crate::subscription::SubscriptionTable;
+use crate::Result;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use nb_crypto::rsa::RsaPublicKey;
+use nb_crypto::Uuid;
+use nb_transport::clock::SharedClock;
+use nb_transport::endpoint::{Endpoint, FrameSender};
+use nb_wire::codec::{Decode, Encode};
+use nb_wire::constrained::{Action, Actor, AllowedActions, ConstrainedTopic, EventType};
+use nb_wire::token::Rights;
+use nb_wire::{Message, Payload, Topic};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Broker tuning knobs.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// §5.2: after this many bogus attempts a client is disconnected.
+    pub bogus_attempt_limit: u32,
+    /// Clock-skew tolerance for token validity windows (the paper
+    /// assumes NTP keeps clocks within 30–100 ms).
+    pub token_skew_ms: u64,
+    /// Enforce authorization tokens on broker-published trace topics.
+    pub require_tokens: bool,
+    /// Interval for subscription anti-entropy: each broker
+    /// periodically re-advertises its full filter set to every
+    /// neighbour, repairing adverts lost on unreliable links. `None`
+    /// disables the refresher.
+    pub advert_refresh: Option<std::time::Duration>,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            bogus_attempt_limit: 3,
+            token_skew_ms: 100,
+            require_tokens: true,
+            advert_refresh: Some(std::time::Duration::from_millis(500)),
+        }
+    }
+}
+
+/// Monotonic counters exposed for the benchmarks (message-volume
+/// comparisons against the naive baseline).
+#[derive(Debug, Default)]
+pub struct BrokerStats {
+    /// Messages accepted for routing (client + internal publishes).
+    pub published: AtomicU64,
+    /// Messages handed to local consumers.
+    pub delivered_local: AtomicU64,
+    /// Messages forwarded to neighbouring brokers.
+    pub forwarded: AtomicU64,
+    /// Publish/subscribe attempts refused by constraint checks.
+    pub rejected: AtomicU64,
+    /// Spurious traces dropped for missing/invalid tokens (§5.2).
+    pub dropped_spurious: AtomicU64,
+    /// Clients disconnected for repeated bogus attempts.
+    pub terminated_clients: AtomicU64,
+}
+
+/// Point-in-time copy of [`BrokerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`BrokerStats::published`].
+    pub published: u64,
+    /// See [`BrokerStats::delivered_local`].
+    pub delivered_local: u64,
+    /// See [`BrokerStats::forwarded`].
+    pub forwarded: u64,
+    /// See [`BrokerStats::rejected`].
+    pub rejected: u64,
+    /// See [`BrokerStats::dropped_spurious`].
+    pub dropped_spurious: u64,
+    /// See [`BrokerStats::terminated_clients`].
+    pub terminated_clients: u64,
+}
+
+struct ClientHandle {
+    sender: Arc<dyn FrameSender>,
+    bogus: u32,
+    terminated: bool,
+}
+
+struct State {
+    clients: HashMap<String, ClientHandle>,
+    neighbors: HashMap<String, Arc<dyn FrameSender>>,
+    subs: SubscriptionTable,
+    internal: HashMap<String, Sender<Message>>,
+    owner_keys: HashMap<Uuid, RsaPublicKey>,
+    /// Rate limiter for hello replies (prevents two registered peers
+    /// from bouncing hellos forever).
+    hello_replied_ms: HashMap<String, u64>,
+}
+
+struct Inner {
+    id: String,
+    clock: SharedClock,
+    config: BrokerConfig,
+    state: Mutex<State>,
+    stats: BrokerStats,
+    msg_seq: AtomicU64,
+}
+
+/// Where a message entered this broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Origin {
+    Client(String),
+    Neighbor(String),
+    Internal,
+}
+
+/// A broker node. Cheap to clone (shared internals).
+#[derive(Clone)]
+pub struct Broker {
+    inner: Arc<Inner>,
+}
+
+impl Broker {
+    /// Creates a broker with the given identifier and clock.
+    pub fn new(id: impl Into<String>, clock: SharedClock, config: BrokerConfig) -> Self {
+        let broker = Broker {
+            inner: Arc::new(Inner {
+                id: id.into(),
+                clock,
+                config,
+                state: Mutex::new(State {
+                    clients: HashMap::new(),
+                    neighbors: HashMap::new(),
+                    subs: SubscriptionTable::new(),
+                    internal: HashMap::new(),
+                    owner_keys: HashMap::new(),
+                    hello_replied_ms: HashMap::new(),
+                }),
+                stats: BrokerStats::default(),
+                msg_seq: AtomicU64::new(1),
+            }),
+        };
+        if let Some(interval) = broker.inner.config.advert_refresh {
+            let weak = Arc::downgrade(&broker.inner);
+            std::thread::Builder::new()
+                .name(format!("{}-advert-refresh", broker.inner.id))
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    let Some(inner) = weak.upgrade() else { return };
+                    refresh_adverts(&inner);
+                })
+                .expect("spawn advert refresher");
+        }
+        broker
+    }
+
+    /// This broker's identifier.
+    pub fn id(&self) -> &str {
+        &self.inner.id
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            published: s.published.load(Ordering::Relaxed),
+            delivered_local: s.delivered_local.load(Ordering::Relaxed),
+            forwarded: s.forwarded.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            dropped_spurious: s.dropped_spurious.load(Ordering::Relaxed),
+            terminated_clients: s.terminated_clients.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Allocates a fresh message id.
+    pub fn next_message_id(&self) -> u64 {
+        self.inner.msg_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers the public key of a trace-topic owner so this broker
+    /// can fully verify authorization tokens (signature, not just
+    /// expiry). The tracing engine calls this during registration.
+    pub fn register_topic_owner(&self, trace_topic: Uuid, key: RsaPublicKey) {
+        self.inner.state.lock().owner_keys.insert(trace_topic, key);
+    }
+
+    /// Attaches a client over `endpoint`; the first frame must be an
+    /// `Attach` payload carrying the client id. Spawns the worker
+    /// thread and returns immediately.
+    pub fn attach_client(&self, endpoint: Endpoint) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("{}-client-worker", inner.id))
+            .spawn(move || client_worker(inner, endpoint))
+            .expect("spawn client worker");
+    }
+
+    /// Connects a neighbouring broker over `endpoint`. Both sides call
+    /// this on their half of the link. Spawns the worker thread.
+    pub fn connect_neighbor(&self, endpoint: Endpoint) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("{}-neighbor-worker", inner.id))
+            .spawn(move || neighbor_worker(inner, endpoint))
+            .expect("spawn neighbor worker");
+    }
+
+    /// Registers an in-process consumer (the tracing engine, a hosted
+    /// TDN) and returns its message channel.
+    pub fn register_internal(&self, consumer: &str) -> Receiver<Message> {
+        let (tx, rx) = unbounded();
+        self.inner
+            .state
+            .lock()
+            .internal
+            .insert(consumer.to_string(), tx);
+        rx
+    }
+
+    /// Subscribes an in-process consumer (treated as the broker
+    /// principal for constraint checks).
+    pub fn subscribe_internal(&self, consumer: &str, filter: Topic) -> Result<()> {
+        let constrained = ConstrainedTopic::parse(&filter)?;
+        if let Some(c) = &constrained {
+            if !c.permits(&Actor::Broker, Action::Subscribe) {
+                return Err(BrokerError::NotPermitted {
+                    topic: filter.to_string(),
+                    action: "subscribe",
+                });
+            }
+        }
+        let suppress = constrained
+            .as_ref()
+            .is_some_and(|c| c.suppressed() && c.is_constrainer(&Actor::Broker));
+        self.add_subscription(consumer, filter, suppress);
+        Ok(())
+    }
+
+    /// Removes an internal subscription (propagating withdrawal when
+    /// no local interest remains).
+    pub fn unsubscribe_internal(&self, consumer: &str, filter: &Topic) {
+        let (orphaned, neighbors) = {
+            let mut state = self.inner.state.lock();
+            let orphaned = state.subs.remove_local(consumer, filter);
+            let gone = orphaned && !state.subs.all_filters().contains(filter);
+            let neighbors: Vec<_> = if gone {
+                state.neighbors.values().cloned().collect()
+            } else {
+                Vec::new()
+            };
+            (gone, neighbors)
+        };
+        if orphaned {
+            let msg = self.control_message(Payload::NeighborUnsubscribe {
+                filter: filter.clone(),
+            });
+            let frame = msg.to_bytes();
+            for n in neighbors {
+                let _ = n.send_frame(&frame);
+            }
+        }
+    }
+
+    fn add_subscription(&self, consumer: &str, filter: Topic, suppress_advert: bool) {
+        let (fresh, neighbors) = {
+            let mut state = self.inner.state.lock();
+            let fresh = state.subs.add_local(consumer, filter.clone(), suppress_advert);
+            let neighbors: Vec<_> = if fresh {
+                state.neighbors.values().cloned().collect()
+            } else {
+                Vec::new()
+            };
+            (fresh, neighbors)
+        };
+        if fresh {
+            let msg = self.control_message(Payload::NeighborSubscribe { filter });
+            let frame = msg.to_bytes();
+            for n in neighbors {
+                let _ = n.send_frame(&frame);
+            }
+        }
+    }
+
+    /// Publishes a message as this broker (the tracing engine path).
+    /// The caller is responsible for attaching any required
+    /// authorization token before publishing.
+    pub fn publish_internal(&self, msg: Message) {
+        route(&self.inner, msg, Origin::Internal);
+    }
+
+    fn control_message(&self, payload: Payload) -> Message {
+        Message::new(
+            self.next_message_id(),
+            Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control").unwrap(),
+            self.inner.id.clone(),
+            self.inner.clock.now_ms(),
+            payload,
+        )
+    }
+
+    /// Number of directly attached clients.
+    pub fn client_count(&self) -> usize {
+        self.inner.state.lock().clients.len()
+    }
+
+    /// Number of neighbouring brokers.
+    pub fn neighbor_count(&self) -> usize {
+        self.inner.state.lock().neighbors.len()
+    }
+}
+
+/// Validates a trace publication's authorization token (§4.3, §5.2).
+///
+/// Returns `false` when the message must be discarded.
+fn token_acceptable(inner: &Inner, msg: &Message, constrained: &ConstrainedTopic) -> bool {
+    // Only broker-published trace channels require tokens.
+    let is_trace_publication = constrained.event_type == EventType::Traces
+        && constrained.allowed_actions == AllowedActions::PublishOnly;
+    if !is_trace_publication || !inner.config.require_tokens {
+        return true;
+    }
+    let Some(token) = &msg.token else {
+        return false;
+    };
+    let now = inner.clock.now_ms();
+    // Expiry/window check is always possible.
+    if now > token.valid_until_ms.saturating_add(inner.config.token_skew_ms)
+        || now + inner.config.token_skew_ms < token.valid_from_ms
+    {
+        return false;
+    }
+    // Full signature verification when this broker knows the topic
+    // owner (always true at the hosting broker; transit brokers fall
+    // back to the window check).
+    let owner_key = inner.state.lock().owner_keys.get(&token.trace_topic).cloned();
+    match owner_key {
+        Some(key) => token
+            .verify(&key, Rights::Publish, now, inner.config.token_skew_ms)
+            .is_ok(),
+        None => true,
+    }
+}
+
+fn route(inner: &Inner, msg: Message, origin: Origin) {
+    let constrained = match ConstrainedTopic::parse(&msg.topic) {
+        Ok(c) => c,
+        Err(_) => {
+            inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+
+    // Enforcement depends on where the message came from.
+    match &origin {
+        Origin::Client(id) => {
+            if let Some(c) = &constrained {
+                if !c.permits(&Actor::Entity(id.clone()), Action::Publish) {
+                    inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    punish(inner, id);
+                    return;
+                }
+            }
+        }
+        Origin::Neighbor(_) => {
+            if let Some(c) = &constrained {
+                if !token_acceptable(inner, &msg, c) {
+                    inner.stats.dropped_spurious.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        Origin::Internal => {}
+    }
+    if matches!(origin, Origin::Client(_) | Origin::Internal) {
+        inner.stats.published.fetch_add(1, Ordering::Relaxed);
+        // The hosting broker also validates tokens on its own trace
+        // publications' ingress from clients (clients can never publish
+        // there — permits() already refused — so this is for Internal).
+        if let (Origin::Internal, Some(c)) = (&origin, &constrained) {
+            if !token_acceptable(inner, &msg, c) {
+                inner.stats.dropped_spurious.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+
+    // Distribution suppression: the constrainer's publishes stay local
+    // on Suppress links (§3.1 {Distribution}).
+    let origin_actor = match &origin {
+        Origin::Client(id) => Actor::Entity(id.clone()),
+        Origin::Neighbor(_) | Origin::Internal => Actor::Broker,
+    };
+    let forward_allowed = match &constrained {
+        Some(c) => !(c.suppressed() && c.is_constrainer(&origin_actor)),
+        None => true,
+    };
+
+    // Collect recipients under the lock, deliver outside it.
+    let (client_senders, internal_senders, neighbor_senders) = {
+        let state = inner.state.lock();
+        let locals = state.subs.local_matches(&msg.topic);
+        let mut client_senders = Vec::new();
+        let mut internal_senders = Vec::new();
+        for consumer in locals {
+            // Don't echo a message back to its publisher.
+            if matches!(&origin, Origin::Client(id) if id == &consumer) {
+                continue;
+            }
+            if let Some(handle) = state.clients.get(&consumer) {
+                if !handle.terminated {
+                    client_senders.push(Arc::clone(&handle.sender));
+                }
+            } else if let Some(tx) = state.internal.get(&consumer) {
+                internal_senders.push(tx.clone());
+            }
+        }
+        let neighbor_senders: Vec<_> = if forward_allowed {
+            state
+                .subs
+                .remote_matches(&msg.topic)
+                .into_iter()
+                .filter(|n| !matches!(&origin, Origin::Neighbor(from) if from == n))
+                .filter_map(|n| state.neighbors.get(&n).map(Arc::clone))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (client_senders, internal_senders, neighbor_senders)
+    };
+
+    let frame = msg.to_bytes();
+    for sender in &client_senders {
+        if sender.send_frame(&frame).is_ok() {
+            inner.stats.delivered_local.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    for tx in &internal_senders {
+        if tx.send(msg.clone()).is_ok() {
+            inner.stats.delivered_local.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    for sender in &neighbor_senders {
+        if sender.send_frame(&frame).is_ok() {
+            inner.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Records a bogus attempt; terminates the client at the limit (§5.2).
+fn punish(inner: &Inner, client_id: &str) {
+    let mut state = inner.state.lock();
+    if let Some(handle) = state.clients.get_mut(client_id) {
+        handle.bogus += 1;
+        if handle.bogus >= inner.config.bogus_attempt_limit && !handle.terminated {
+            handle.terminated = true;
+            inner.stats.terminated_clients.fetch_add(1, Ordering::Relaxed);
+            let sender = Arc::clone(&handle.sender);
+            drop(state);
+            let msg = Message::new(
+                0,
+                Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control").unwrap(),
+                inner.id.clone(),
+                inner.clock.now_ms(),
+                Payload::Nack {
+                    reason: "communications terminated: repeated bogus attempts".to_string(),
+                },
+            );
+            let _ = sender.send_frame(&msg.to_bytes());
+            // Remove all state for the client.
+            let mut state = inner.state.lock();
+            state.clients.remove(client_id);
+            state.subs.remove_consumer(client_id);
+        }
+    }
+}
+
+fn is_terminated(inner: &Inner, client_id: &str) -> bool {
+    let state = inner.state.lock();
+    !state.clients.contains_key(client_id)
+}
+
+fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
+    let inner = &inner;
+    // Handshake: first frame must be Attach.
+    let client_id = loop {
+        let Ok(frame) = endpoint.recv() else { return };
+        match Message::from_bytes(&frame) {
+            Ok(msg) => {
+                if let Payload::Attach { client_id } = &msg.payload {
+                    let id = client_id.clone();
+                    {
+                        let mut state = inner.state.lock();
+                        state.clients.insert(
+                            id.clone(),
+                            ClientHandle {
+                                sender: endpoint.sender(),
+                                bogus: 0,
+                                terminated: false,
+                            },
+                        );
+                    }
+                    let ack = Message::new(
+                        0,
+                        msg.topic.clone(),
+                        inner.id.clone(),
+                        inner.clock.now_ms(),
+                        Payload::Ack,
+                    )
+                    .correlated(msg.id);
+                    let _ = endpoint.send(&ack.to_bytes());
+                    break id;
+                }
+                // Ignore anything before Attach.
+            }
+            Err(_) => continue,
+        }
+    };
+
+    loop {
+        let Ok(frame) = endpoint.recv() else {
+            // Link dropped: clean up.
+            let mut state = inner.state.lock();
+            state.clients.remove(&client_id);
+            state.subs.remove_consumer(&client_id);
+            return;
+        };
+        if is_terminated(inner, &client_id) {
+            return;
+        }
+        let msg = match Message::from_bytes(&frame) {
+            Ok(m) => m,
+            Err(_) => {
+                punish(inner, &client_id);
+                continue;
+            }
+        };
+        match &msg.payload {
+            Payload::Subscribe { filter } => {
+                handle_client_subscribe(inner, &endpoint, &client_id, &msg, filter.clone());
+            }
+            Payload::Unsubscribe { filter } => {
+                let mut state = inner.state.lock();
+                state.subs.remove_local(&client_id, filter);
+                drop(state);
+                let ack = Message::new(
+                    0,
+                    msg.topic.clone(),
+                    inner.id.clone(),
+                    inner.clock.now_ms(),
+                    Payload::Ack,
+                )
+                .correlated(msg.id);
+                let _ = endpoint.send(&ack.to_bytes());
+            }
+            Payload::Attach { .. } => {
+                // Duplicate attach (client retried over a lossy link):
+                // acknowledge again, idempotently.
+                let ack = Message::new(
+                    0,
+                    msg.topic.clone(),
+                    inner.id.clone(),
+                    inner.clock.now_ms(),
+                    Payload::Ack,
+                )
+                .correlated(msg.id);
+                let _ = endpoint.send(&ack.to_bytes());
+            }
+            _ => {
+                route(inner, msg, Origin::Client(client_id.clone()));
+            }
+        }
+    }
+}
+
+fn handle_client_subscribe(
+    inner: &Arc<Inner>,
+    endpoint: &Endpoint,
+    client_id: &str,
+    msg: &Message,
+    filter: Topic,
+) {
+    let allowed = match ConstrainedTopic::parse(&filter) {
+        Ok(Some(c)) => c.permits(&Actor::Entity(client_id.to_string()), Action::Subscribe),
+        Ok(None) => true,
+        Err(_) => false,
+    };
+    if !allowed {
+        inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let nack = Message::new(
+            0,
+            msg.topic.clone(),
+            inner.id.clone(),
+            inner.clock.now_ms(),
+            Payload::Nack {
+                reason: format!("subscribe not permitted on {filter}"),
+            },
+        )
+        .correlated(msg.id);
+        let _ = endpoint.send(&nack.to_bytes());
+        punish(inner, client_id);
+        return;
+    }
+    let suppress = match ConstrainedTopic::parse(&filter) {
+        Ok(Some(c)) => c.suppressed() && c.is_constrainer(&Actor::Entity(client_id.to_string())),
+        _ => false,
+    };
+    // Reuse the broker's advertisement machinery.
+    let broker = Broker {
+        inner: Arc::clone(inner),
+    };
+    broker.add_subscription(client_id, filter, suppress);
+    let ack = Message::new(
+        0,
+        msg.topic.clone(),
+        inner.id.clone(),
+        inner.clock.now_ms(),
+        Payload::Ack,
+    )
+    .correlated(msg.id);
+    let _ = endpoint.send(&ack.to_bytes());
+}
+
+fn neighbor_worker(inner: Arc<Inner>, endpoint: Endpoint) {
+    let inner = &inner;
+    // Identify ourselves and advertise all current interest.
+    let hello = Message::new(
+        0,
+        Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control").unwrap(),
+        inner.id.clone(),
+        inner.clock.now_ms(),
+        Payload::NeighborHello {
+            broker_id: inner.id.clone(),
+        },
+    );
+    if endpoint.send(&hello.to_bytes()).is_err() {
+        return;
+    }
+    let filters: Vec<Topic> = {
+        let state = inner.state.lock();
+        state.subs.advertisable_filters().into_iter().collect()
+    };
+    for filter in filters {
+        let adv = Message::new(
+            0,
+            Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control").unwrap(),
+            inner.id.clone(),
+            inner.clock.now_ms(),
+            Payload::NeighborSubscribe { filter },
+        );
+        if endpoint.send(&adv.to_bytes()).is_err() {
+            return;
+        }
+    }
+
+    // Wait for the peer's hello, buffering anything (e.g. adverts
+    // reordered by jitter) that arrives before it. The hello is
+    // retransmitted periodically so a lossy link cannot wedge the
+    // handshake.
+    let mut buffered: Vec<Message> = Vec::new();
+    let peer_id = loop {
+        match endpoint.recv_timeout(std::time::Duration::from_millis(200)) {
+            Ok(frame) => {
+                if let Ok(msg) = Message::from_bytes(&frame) {
+                    if let Payload::NeighborHello { broker_id } = &msg.payload {
+                        let id = broker_id.clone();
+                        inner
+                            .state
+                            .lock()
+                            .neighbors
+                            .insert(id.clone(), endpoint.sender());
+                        break id;
+                    }
+                    buffered.push(msg);
+                }
+            }
+            Err(nb_transport::TransportError::Timeout) => {
+                if endpoint.send(&hello.to_bytes()).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    for msg in buffered {
+        handle_neighbor_message(inner, &peer_id, msg);
+    }
+
+    loop {
+        let Ok(frame) = endpoint.recv() else {
+            let mut state = inner.state.lock();
+            state.neighbors.remove(&peer_id);
+            state.subs.remove_neighbor(&peer_id);
+            return;
+        };
+        let Ok(msg) = Message::from_bytes(&frame) else {
+            continue;
+        };
+        handle_neighbor_message(inner, &peer_id, msg);
+    }
+}
+
+fn handle_neighbor_message(inner: &Arc<Inner>, peer_id: &str, msg: Message) {
+    {
+        match &msg.payload {
+            Payload::NeighborHello { .. } => {
+                // The peer is (re)announcing itself — our own hello may
+                // have been lost. Answer with a fresh hello; the
+                // exchange quiesces once both sides are registered
+                // (peers stop retransmitting after registration).
+                let now = inner.clock.now_ms();
+                let sender = {
+                    let mut state = inner.state.lock();
+                    let last = state.hello_replied_ms.get(peer_id).copied().unwrap_or(0);
+                    if now.saturating_sub(last) < 1000 {
+                        None // rate-limited: at most one reply per second
+                    } else {
+                        state.hello_replied_ms.insert(peer_id.to_string(), now);
+                        state.neighbors.get(peer_id).map(Arc::clone)
+                    }
+                };
+                if let Some(sender) = sender {
+                    let hello = Message::new(
+                        inner.msg_seq.fetch_add(1, Ordering::Relaxed),
+                        Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control")
+                            .unwrap(),
+                        inner.id.clone(),
+                        inner.clock.now_ms(),
+                        Payload::NeighborHello {
+                            broker_id: inner.id.clone(),
+                        },
+                    );
+                    let _ = sender.send_frame(&hello.to_bytes());
+                }
+            }
+            Payload::NeighborSubscribe { filter } => {
+                let (fresh, others) = {
+                    let mut state = inner.state.lock();
+                    let fresh = !state.subs.all_filters().contains(filter);
+                    state.subs.add_remote(peer_id, filter.clone());
+                    let others: Vec<_> = if fresh {
+                        state
+                            .neighbors
+                            .iter()
+                            .filter(|(n, _)| n.as_str() != peer_id)
+                            .map(|(_, s)| Arc::clone(s))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    (fresh, others)
+                };
+                if fresh {
+                    let frame = msg.to_bytes();
+                    for s in others {
+                        let _ = s.send_frame(&frame);
+                    }
+                }
+            }
+            Payload::NeighborUnsubscribe { filter } => {
+                let (gone, others) = {
+                    let mut state = inner.state.lock();
+                    state.subs.remove_remote(peer_id, filter);
+                    let gone = !state.subs.all_filters().contains(filter);
+                    let others: Vec<_> = if gone {
+                        state
+                            .neighbors
+                            .iter()
+                            .filter(|(n, _)| n.as_str() != peer_id)
+                            .map(|(_, s)| Arc::clone(s))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    (gone, others)
+                };
+                if gone {
+                    let frame = msg.to_bytes();
+                    for s in others {
+                        let _ = s.send_frame(&frame);
+                    }
+                }
+            }
+            _ => {
+                route(inner, msg, Origin::Neighbor(peer_id.to_string()));
+            }
+        }
+    }
+}
+
+
+/// Anti-entropy pass: re-advertise the full interest set to each
+/// neighbour. Idempotent at the receiver (set insertion), so repeated
+/// adverts are harmless; a single lost advert is repaired within one
+/// refresh interval.
+fn refresh_adverts(inner: &Arc<Inner>) {
+    let per_neighbor: Vec<(Arc<dyn FrameSender>, Vec<Topic>)> = {
+        let state = inner.state.lock();
+        state
+            .neighbors
+            .iter()
+            .map(|(peer, sender)| {
+                (
+                    Arc::clone(sender),
+                    state.subs.filters_for_neighbor(peer).into_iter().collect(),
+                )
+            })
+            .collect()
+    };
+    for (sender, filters) in per_neighbor {
+        for filter in filters {
+            let msg = Message::new(
+                inner.msg_seq.fetch_add(1, Ordering::Relaxed),
+                Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control").unwrap(),
+                inner.id.clone(),
+                inner.clock.now_ms(),
+                Payload::NeighborSubscribe { filter },
+            );
+            let _ = sender.send_frame(&msg.to_bytes());
+        }
+    }
+}

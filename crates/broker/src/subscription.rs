@@ -1,0 +1,265 @@
+//! Subscription bookkeeping: which local consumers and which
+//! neighbouring brokers are interested in which topics.
+
+use nb_wire::Topic;
+use std::collections::{HashMap, HashSet};
+
+/// Interest table for one broker.
+///
+/// *Local* entries map consumer ids (attached clients or in-process
+/// engines) to their filters; *remote* entries record which filters
+/// each neighbouring broker has advertised interest in.
+#[derive(Debug, Default)]
+pub struct SubscriptionTable {
+    local: HashMap<String, HashSet<Topic>>,
+    remote: HashMap<String, HashSet<Topic>>,
+    /// Local filters registered with Suppress/Limited distribution:
+    /// never advertised to neighbours (§3.1 {Distribution}).
+    suppressed: HashSet<Topic>,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a local consumer's filter. Returns `true` if this is
+    /// a new filter for this broker overall (and thus worth
+    /// advertising to neighbours). `suppressed` filters are recorded
+    /// but never advertised.
+    pub fn add_local(&mut self, consumer: &str, filter: Topic, suppressed: bool) -> bool {
+        let fresh = !self.any_local_filter(&filter);
+        if suppressed {
+            self.suppressed.insert(filter.clone());
+        }
+        self.local
+            .entry(consumer.to_string())
+            .or_default()
+            .insert(filter);
+        fresh && !suppressed
+    }
+
+    /// Removes a local filter. Returns `true` if no local consumer
+    /// holds it any more (worth un-advertising).
+    pub fn remove_local(&mut self, consumer: &str, filter: &Topic) -> bool {
+        if let Some(filters) = self.local.get_mut(consumer) {
+            filters.remove(filter);
+            if filters.is_empty() {
+                self.local.remove(consumer);
+            }
+        }
+        !self.any_local_filter(filter)
+    }
+
+    /// Drops every filter belonging to `consumer`, returning the
+    /// filters that now have no local subscriber.
+    pub fn remove_consumer(&mut self, consumer: &str) -> Vec<Topic> {
+        let filters = self.local.remove(consumer).unwrap_or_default();
+        filters
+            .into_iter()
+            .filter(|f| !self.any_local_filter(f))
+            .collect()
+    }
+
+    fn any_local_filter(&self, filter: &Topic) -> bool {
+        self.local.values().any(|fs| fs.contains(filter))
+    }
+
+    /// Registers a neighbour's advertised interest.
+    pub fn add_remote(&mut self, neighbor: &str, filter: Topic) {
+        self.remote
+            .entry(neighbor.to_string())
+            .or_default()
+            .insert(filter);
+    }
+
+    /// Withdraws a neighbour's interest.
+    pub fn remove_remote(&mut self, neighbor: &str, filter: &Topic) {
+        if let Some(filters) = self.remote.get_mut(neighbor) {
+            filters.remove(filter);
+            if filters.is_empty() {
+                self.remote.remove(neighbor);
+            }
+        }
+    }
+
+    /// Drops all state for a departed neighbour.
+    pub fn remove_neighbor(&mut self, neighbor: &str) {
+        self.remote.remove(neighbor);
+    }
+
+    /// Local consumers whose filters match `topic`.
+    pub fn local_matches(&self, topic: &Topic) -> Vec<String> {
+        self.local
+            .iter()
+            .filter(|(_, filters)| filters.iter().any(|f| topic.matches_filter(f)))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Neighbours with at least one filter matching `topic`.
+    pub fn remote_matches(&self, topic: &Topic) -> Vec<String> {
+        self.remote
+            .iter()
+            .filter(|(_, filters)| filters.iter().any(|f| topic.matches_filter(f)))
+            .map(|(id, _)| id.clone())
+            .collect()
+    }
+
+    /// Every distinct filter known (local and remote) — sent to a
+    /// newly connected neighbour so interest reaches it transitively.
+    pub fn all_filters(&self) -> HashSet<Topic> {
+        self.local
+            .values()
+            .chain(self.remote.values())
+            .flatten()
+            .cloned()
+            .collect()
+    }
+
+    /// Filters advertised by neighbours other than `except` plus all
+    /// non-suppressed local filters (what `except` should be told
+    /// about).
+    pub fn filters_for_neighbor(&self, except: &str) -> HashSet<Topic> {
+        self.local
+            .values()
+            .flatten()
+            .filter(|f| !self.suppressed.contains(*f))
+            .chain(
+                self.remote
+                    .iter()
+                    .filter(|(n, _)| n.as_str() != except)
+                    .flat_map(|(_, fs)| fs),
+            )
+            .cloned()
+            .collect()
+    }
+
+    /// Every advertisable filter (non-suppressed local + all remote) —
+    /// sent to a newly connected neighbour.
+    pub fn advertisable_filters(&self) -> HashSet<Topic> {
+        self.local
+            .values()
+            .flatten()
+            .filter(|f| !self.suppressed.contains(*f))
+            .chain(self.remote.values().flatten())
+            .cloned()
+            .collect()
+    }
+
+    /// Number of local consumers.
+    pub fn local_consumer_count(&self) -> usize {
+        self.local.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> Topic {
+        Topic::parse(s).unwrap()
+    }
+
+    #[test]
+    fn local_matching_by_exact_topic() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/A/B"), false);
+        table.add_local("c2", t("/A/C"), false);
+        assert_eq!(table.local_matches(&t("/A/B")), vec!["c1".to_string()]);
+        assert!(table.local_matches(&t("/A/X")).is_empty());
+    }
+
+    #[test]
+    fn wildcard_filters_match() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/Traces/*/Load"), false);
+        table.add_local("c2", t("/Traces/#"), false);
+        let hits = table.local_matches(&t("/Traces/e1/Load"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn add_local_reports_freshness() {
+        let mut table = SubscriptionTable::new();
+        assert!(table.add_local("c1", t("/A"), false));
+        assert!(!table.add_local("c2", t("/A"), false)); // already advertised
+        assert!(table.add_local("c1", t("/B"), false));
+    }
+
+    #[test]
+    fn remove_local_reports_last_holder() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/A"), false);
+        table.add_local("c2", t("/A"), false);
+        assert!(!table.remove_local("c1", &t("/A"))); // c2 still holds it
+        assert!(table.remove_local("c2", &t("/A")));
+    }
+
+    #[test]
+    fn remove_consumer_returns_orphaned_filters() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/A"), false);
+        table.add_local("c1", t("/B"), false);
+        table.add_local("c2", t("/B"), false);
+        let orphaned = table.remove_consumer("c1");
+        assert_eq!(orphaned, vec![t("/A")]);
+        assert_eq!(table.local_consumer_count(), 1);
+    }
+
+    #[test]
+    fn remote_interest_routing() {
+        let mut table = SubscriptionTable::new();
+        table.add_remote("b2", t("/A/#"));
+        table.add_remote("b3", t("/X"));
+        assert_eq!(table.remote_matches(&t("/A/B")), vec!["b2".to_string()]);
+        assert_eq!(table.remote_matches(&t("/X")), vec!["b3".to_string()]);
+        table.remove_remote("b2", &t("/A/#"));
+        assert!(table.remote_matches(&t("/A/B")).is_empty());
+    }
+
+    #[test]
+    fn neighbor_removal_clears_interest() {
+        let mut table = SubscriptionTable::new();
+        table.add_remote("b2", t("/A"));
+        table.remove_neighbor("b2");
+        assert!(table.remote_matches(&t("/A")).is_empty());
+    }
+
+    #[test]
+    fn filters_for_neighbor_excludes_its_own() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/L"), false);
+        table.add_remote("b2", t("/R2"));
+        table.add_remote("b3", t("/R3"));
+        let for_b2 = table.filters_for_neighbor("b2");
+        assert!(for_b2.contains(&t("/L")));
+        assert!(for_b2.contains(&t("/R3")));
+        assert!(!for_b2.contains(&t("/R2")));
+    }
+
+    #[test]
+    fn suppressed_filters_are_never_advertised() {
+        let mut table = SubscriptionTable::new();
+        assert!(!table.add_local("engine", t("/Reg"), true)); // not advertisable
+        assert!(table.add_local("c1", t("/Pub"), false));
+        let adv = table.advertisable_filters();
+        assert!(adv.contains(&t("/Pub")));
+        assert!(!adv.contains(&t("/Reg")));
+        let for_b2 = table.filters_for_neighbor("b2");
+        assert!(!for_b2.contains(&t("/Reg")));
+        // Still matched locally.
+        assert_eq!(table.local_matches(&t("/Reg")), vec!["engine".to_string()]);
+    }
+
+    #[test]
+    fn all_filters_unions_local_and_remote() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/L"), false);
+        table.add_remote("b2", t("/R"));
+        let all = table.all_filters();
+        assert!(all.contains(&t("/L")) && all.contains(&t("/R")));
+        assert_eq!(all.len(), 2);
+    }
+}

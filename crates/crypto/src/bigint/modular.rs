@@ -1,0 +1,448 @@
+//! Modular arithmetic: Montgomery multiplication, modular
+//! exponentiation, inverses, and GCD.
+
+use super::BigUint;
+use crate::error::CryptoError;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `n`.
+///
+/// Montgomery representation maps `a` to `a * R mod n` where
+/// `R = 2^(64k)` and `k` is the limb count of `n`. Multiplication in
+/// this domain (CIOS method) avoids per-step long division, which is
+/// what makes 1024-bit RSA exponentiation fast enough for the paper's
+/// benchmark workloads.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n`, used to enter the Montgomery domain.
+    rr: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for an odd modulus `n > 1`.
+    pub fn new(n: &BigUint) -> Result<Self, CryptoError> {
+        if n.is_zero() || n.is_one() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if n.is_even() {
+            return Err(CryptoError::Malformed("Montgomery modulus must be odd"));
+        }
+        let k = n.limbs.len();
+        // Newton iteration for the inverse of n[0] modulo 2^64; six
+        // doublings of precision from 1 bit covers all 64 bits.
+        let x = n.limbs[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(x.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R^2 mod n via one long division of 2^(128k).
+        let r2 = BigUint::one().shl(128 * k).rem(n)?;
+        let mut rr = r2.limbs;
+        rr.resize(k, 0);
+
+        Ok(MontgomeryCtx {
+            n: n.limbs.clone(),
+            n0_inv,
+            rr,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> BigUint {
+        BigUint::from_limbs(self.n.clone())
+    }
+
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n`.
+    /// Inputs are fixed-width `k`-limb slices; output is `k` limbs.
+    #[allow(clippy::needless_range_loop)] // index math mirrors the CIOS paper
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        let n = &self.n;
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            // t += a[i] * b
+            let ai = a[i] as u128;
+            let mut carry = 0u64;
+            for j in 0..k {
+                let s = t[j] as u128 + ai * b[j] as u128 + carry as u128;
+                t[j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[k] as u128 + carry as u128;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m = t[0] * (-n^-1) mod 2^64; then t = (t + m*n) / 2^64
+            let m = t[0].wrapping_mul(self.n0_inv) as u128;
+            let s = t[0] as u128 + m * n[0] as u128;
+            debug_assert_eq!(s as u64, 0);
+            let mut carry = (s >> 64) as u64;
+            for j in 1..k {
+                let s = t[j] as u128 + m * n[j] as u128 + carry as u128;
+                t[j - 1] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let s = t[k] as u128 + carry as u128;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1] + ((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional subtraction to bring the result below n.
+        let needs_sub = t[k] != 0 || ge_slice(&t[..k], n);
+        let mut out = t[..k].to_vec();
+        if needs_sub {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = out[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        }
+        out
+    }
+
+    /// Converts a reduced value (`a < n`) into the Montgomery domain.
+    fn to_mont(&self, a: &BigUint) -> Vec<u64> {
+        let mut limbs = a.limbs.clone();
+        limbs.resize(self.k(), 0);
+        self.mont_mul(&limbs, &self.rr)
+    }
+
+    /// Leaves the Montgomery domain.
+    #[allow(clippy::wrong_self_convention)] // "from the Montgomery domain", not a constructor
+    fn from_mont(&self, a: &[u64]) -> BigUint {
+        let mut one = vec![0u64; self.k()];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+
+    /// Modular multiplication `a * b mod n` for already-reduced inputs.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation `base^exp mod n` via left-to-right
+    /// square-and-multiply in the Montgomery domain.
+    pub fn pow_mod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&self.modulus()).unwrap();
+        }
+        let base = if &self.modulus() <= base {
+            base.rem(&self.modulus()).unwrap()
+        } else {
+            base.clone()
+        };
+        let base_m = self.to_mont(&base);
+        let mut acc = base_m.clone();
+        let bits = exp.bit_length();
+        for i in (0..bits - 1).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn ge_slice(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+impl BigUint {
+    /// Modular exponentiation `self^exp mod m`.
+    ///
+    /// Uses Montgomery arithmetic when `m` is odd (the RSA case) and a
+    /// division-based square-and-multiply fallback otherwise.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        if m.is_odd() {
+            let ctx = MontgomeryCtx::new(m)?;
+            return Ok(ctx.pow_mod(self, exp));
+        }
+        self.modpow_generic(exp, m)
+    }
+
+    /// Square-and-multiply with full division-based reduction. Exposed
+    /// for benchmarking the Montgomery speedup (DESIGN.md ablation).
+    pub fn modpow_generic(&self, exp: &BigUint, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m.is_zero() {
+            return Err(CryptoError::DivisionByZero);
+        }
+        if m.is_one() {
+            return Ok(BigUint::zero());
+        }
+        let mut result = BigUint::one();
+        let mut base = self.rem(m)?;
+        let bits = exp.bit_length();
+        for i in 0..bits {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(m)?;
+            }
+            if i + 1 < bits {
+                base = base.mul(&base).rem(m)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        // Factor out common powers of two.
+        let mut shift = 0usize;
+        while a.is_even() && b.is_even() {
+            a = a.shr(1);
+            b = b.shr(1);
+            shift += 1;
+        }
+        while a.is_even() {
+            a = a.shr(1);
+        }
+        loop {
+            while b.is_even() {
+                b = b.shr(1);
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.sub(&a);
+            if b.is_zero() {
+                break;
+            }
+        }
+        a.shl(shift)
+    }
+
+    /// Modular inverse: finds `x` with `self * x ≡ 1 (mod m)`.
+    ///
+    /// Returns [`CryptoError::NotInvertible`] when `gcd(self, m) != 1`.
+    pub fn mod_inverse(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m.is_zero() || m.is_one() {
+            return Err(CryptoError::NotInvertible);
+        }
+        let a = self.rem(m)?;
+        if a.is_zero() {
+            return Err(CryptoError::NotInvertible);
+        }
+        // Extended Euclid with sign-tracked coefficients.
+        let (mut old_r, mut r) = (a, m.clone());
+        let (mut old_s, mut s) = (Signed::pos(BigUint::one()), Signed::pos(BigUint::zero()));
+        while !r.is_zero() {
+            let (q, rem) = old_r.div_rem(&r)?;
+            old_r = std::mem::replace(&mut r, rem);
+            let qs = s.mul_mag(&q);
+            let new_s = old_s.sub(&qs);
+            old_s = std::mem::replace(&mut s, new_s);
+        }
+        if !old_r.is_one() {
+            return Err(CryptoError::NotInvertible);
+        }
+        old_s.reduce_mod(m)
+    }
+}
+
+/// Minimal signed wrapper used only by the extended Euclid above.
+#[derive(Clone)]
+struct Signed {
+    neg: bool,
+    mag: BigUint,
+}
+
+impl Signed {
+    fn pos(mag: BigUint) -> Self {
+        Signed { neg: false, mag }
+    }
+
+    fn mul_mag(&self, q: &BigUint) -> Signed {
+        Signed {
+            neg: self.neg,
+            mag: self.mag.mul(q),
+        }
+    }
+
+    fn sub(&self, other: &Signed) -> Signed {
+        match (self.neg, other.neg) {
+            // a - b with both non-negative.
+            (false, false) | (true, true) => {
+                if self.mag >= other.mag {
+                    Signed {
+                        neg: self.neg,
+                        mag: self.mag.sub(&other.mag),
+                    }
+                } else {
+                    Signed {
+                        neg: !self.neg,
+                        mag: other.mag.sub(&self.mag),
+                    }
+                }
+            }
+            // a - (-b) = a + b ; (-a) - b = -(a + b)
+            (false, true) | (true, false) => Signed {
+                neg: self.neg,
+                mag: self.mag.add(&other.mag),
+            },
+        }
+    }
+
+    fn reduce_mod(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        let r = self.mag.rem(m)?;
+        if self.neg && !r.is_zero() {
+            Ok(m.sub(&r))
+        } else {
+            Ok(r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> BigUint {
+        BigUint::from_u64(v)
+    }
+
+    fn h(s: &str) -> BigUint {
+        BigUint::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn montgomery_rejects_even_or_trivial_modulus() {
+        assert!(MontgomeryCtx::new(&n(10)).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::zero()).is_err());
+        assert!(MontgomeryCtx::new(&BigUint::one()).is_err());
+    }
+
+    #[test]
+    fn montgomery_mul_matches_naive() {
+        let m = h("fedcba9876543211"); // odd
+        let ctx = MontgomeryCtx::new(&m).unwrap();
+        let a = h("123456789abcdef0");
+        let b = h("fedcba987654320f");
+        let got = ctx.mul_mod(&a.rem(&m).unwrap(), &b.rem(&m).unwrap());
+        let want = a.mul(&b).rem(&m).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn modpow_small_cases() {
+        assert_eq!(n(2).modpow(&n(10), &n(1000)).unwrap(), n(24));
+        assert_eq!(n(3).modpow(&n(0), &n(7)).unwrap(), n(1));
+        assert_eq!(n(0).modpow(&n(5), &n(7)).unwrap(), n(0));
+        assert_eq!(n(5).modpow(&n(3), &BigUint::one()).unwrap(), n(0));
+    }
+
+    #[test]
+    fn modpow_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 mod p for prime p not dividing a.
+        let p = n(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(
+                n(a).modpow(&n(1_000_000_006), &p).unwrap(),
+                BigUint::one(),
+                "a={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn modpow_matches_generic_fallback() {
+        let m = h("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"); // odd
+        let base = h("123456789abcdef0fedcba9876543210aabbccddeeff0011");
+        let exp = h("10001");
+        assert_eq!(
+            base.modpow(&exp, &m).unwrap(),
+            base.modpow_generic(&exp, &m).unwrap()
+        );
+    }
+
+    #[test]
+    fn modpow_even_modulus_uses_fallback() {
+        let m = h("10000000000000000"); // 2^64, even
+        assert_eq!(n(3).modpow(&n(64), &m).unwrap(), n(3).modpow_generic(&n(64), &m).unwrap());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(n(12).gcd(&n(18)), n(6));
+        assert_eq!(n(17).gcd(&n(31)), n(1));
+        assert_eq!(n(0).gcd(&n(5)), n(5));
+        assert_eq!(n(5).gcd(&n(0)), n(5));
+        assert_eq!(n(48).gcd(&n(36)), n(12));
+    }
+
+    #[test]
+    fn mod_inverse_round_trips() {
+        let m = n(1_000_000_007);
+        for a in [2u64, 3, 65537, 999_999_999] {
+            let inv = n(a).mod_inverse(&m).unwrap();
+            assert_eq!(n(a).mul_mod(&inv, &m).unwrap(), BigUint::one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn mod_inverse_not_coprime_fails() {
+        assert_eq!(n(6).mod_inverse(&n(9)), Err(CryptoError::NotInvertible));
+        assert_eq!(n(0).mod_inverse(&n(9)), Err(CryptoError::NotInvertible));
+    }
+
+    #[test]
+    fn mod_inverse_large_operands() {
+        let m = h("ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"); // odd
+        let a = h("123456789abcdef0123456789abcdef0");
+        if a.gcd(&m).is_one() {
+            let inv = a.mod_inverse(&m).unwrap();
+            assert_eq!(a.mul_mod(&inv, &m).unwrap(), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn rsa_shaped_round_trip() {
+        // p, q small primes; e*d ≡ 1 mod (p-1)(q-1); m^(e*d) ≡ m mod n.
+        let p = n(61);
+        let q = n(53);
+        let modulus = p.mul(&q); // 3233
+        let e = n(17);
+        let phi = n(60).mul(&n(52)); // 3120
+        let d = e.mod_inverse(&phi).unwrap(); // 2753
+        assert_eq!(d, n(2753));
+        let msg = n(65);
+        let c = msg.modpow(&e, &modulus).unwrap();
+        assert_eq!(c, n(2790));
+        let back = c.modpow(&d, &modulus).unwrap();
+        assert_eq!(back, msg);
+    }
+}

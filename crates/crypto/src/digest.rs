@@ -1,0 +1,93 @@
+//! Common trait for streaming message digests.
+
+use crate::error::CryptoError;
+use crate::sha1::Sha1;
+use crate::sha256::Sha256;
+
+/// A streaming message digest (Merkle–Damgård construction).
+pub trait Digest: Default {
+    /// Output size in bytes.
+    const OUTPUT_LEN: usize;
+    /// Internal block size in bytes (needed by HMAC).
+    const BLOCK_LEN: usize;
+
+    /// Absorbs `data` into the state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the digest and produces the final hash.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: hash `data` in a single call.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut d = Self::default();
+        d.update(data);
+        d.finalize()
+    }
+}
+
+/// Runtime-selectable digest algorithm identifier, used in wire
+/// messages and certificates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DigestAlgorithm {
+    /// SHA-1 (160-bit). The paper's signing benchmarks use
+    /// 1024-bit RSA with 160-bit SHA-1.
+    Sha1,
+    /// SHA-256 (256-bit). Used for certificates in this reproduction.
+    Sha256,
+}
+
+impl DigestAlgorithm {
+    /// Output length in bytes.
+    pub fn output_len(self) -> usize {
+        match self {
+            DigestAlgorithm::Sha1 => 20,
+            DigestAlgorithm::Sha256 => 32,
+        }
+    }
+
+    /// Hashes `data` with the selected algorithm.
+    pub fn digest(self, data: &[u8]) -> Vec<u8> {
+        match self {
+            DigestAlgorithm::Sha1 => Sha1::digest(data),
+            DigestAlgorithm::Sha256 => Sha256::digest(data),
+        }
+    }
+
+    /// Stable single-byte identifier for wire encoding.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            DigestAlgorithm::Sha1 => 1,
+            DigestAlgorithm::Sha256 => 2,
+        }
+    }
+
+    /// Inverse of [`DigestAlgorithm::wire_id`].
+    pub fn from_wire_id(id: u8) -> Result<Self, CryptoError> {
+        match id {
+            1 => Ok(DigestAlgorithm::Sha1),
+            2 => Ok(DigestAlgorithm::Sha256),
+            other => Err(CryptoError::UnsupportedAlgorithm(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_id_round_trip() {
+        for alg in [DigestAlgorithm::Sha1, DigestAlgorithm::Sha256] {
+            assert_eq!(DigestAlgorithm::from_wire_id(alg.wire_id()).unwrap(), alg);
+        }
+        assert!(DigestAlgorithm::from_wire_id(0).is_err());
+        assert!(DigestAlgorithm::from_wire_id(99).is_err());
+    }
+
+    #[test]
+    fn output_len_matches_digest() {
+        for alg in [DigestAlgorithm::Sha1, DigestAlgorithm::Sha256] {
+            assert_eq!(alg.digest(b"x").len(), alg.output_len());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A ciphertext, signature, or key had an invalid length.
+    InvalidLength {
+        /// What was being parsed or processed.
+        what: &'static str,
+        /// The length that was expected (or a lower bound).
+        expected: usize,
+        /// The length that was actually supplied.
+        actual: usize,
+    },
+    /// PKCS#1 / PKCS#7 padding was malformed.
+    BadPadding(&'static str),
+    /// A signature failed verification.
+    SignatureMismatch,
+    /// The message is too large for the RSA modulus.
+    MessageTooLarge,
+    /// Division by zero in big-integer arithmetic.
+    DivisionByZero,
+    /// No modular inverse exists (operands not coprime).
+    NotInvertible,
+    /// Prime generation exhausted its attempt budget.
+    PrimeGenerationFailed,
+    /// A certificate failed validation.
+    CertificateInvalid(&'static str),
+    /// An unsupported algorithm identifier was encountered.
+    UnsupportedAlgorithm(u8),
+    /// Malformed serialized structure.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected}, got {actual}"
+            ),
+            CryptoError::BadPadding(why) => write!(f, "bad padding: {why}"),
+            CryptoError::SignatureMismatch => write!(f, "signature verification failed"),
+            CryptoError::MessageTooLarge => write!(f, "message too large for RSA modulus"),
+            CryptoError::DivisionByZero => write!(f, "division by zero"),
+            CryptoError::NotInvertible => write!(f, "no modular inverse exists"),
+            CryptoError::PrimeGenerationFailed => write!(f, "prime generation failed"),
+            CryptoError::CertificateInvalid(why) => write!(f, "certificate invalid: {why}"),
+            CryptoError::UnsupportedAlgorithm(id) => write!(f, "unsupported algorithm id {id}"),
+            CryptoError::Malformed(what) => write!(f, "malformed structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}

@@ -1,0 +1,243 @@
+//! Block-cipher modes of operation (NIST SP 800-38A): CBC and CTR.
+//!
+//! Trace messages in the reproduction are encrypted with AES-CBC plus
+//! PKCS#7 padding by default (matching the paper's "encryption
+//! algorithm and padding scheme" negotiation); CTR is provided for the
+//! key-stream case.
+
+use crate::aes::{Aes, BLOCK_SIZE};
+use crate::error::CryptoError;
+use crate::padding::{pkcs7_pad, pkcs7_unpad};
+
+/// Cipher mode selector carried in key-distribution payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipherMode {
+    /// Cipher block chaining with PKCS#7 padding.
+    Cbc,
+    /// Counter mode (no padding required).
+    Ctr,
+}
+
+impl CipherMode {
+    /// Stable single-byte identifier for wire encoding.
+    pub fn wire_id(self) -> u8 {
+        match self {
+            CipherMode::Cbc => 1,
+            CipherMode::Ctr => 2,
+        }
+    }
+
+    /// Inverse of [`CipherMode::wire_id`].
+    pub fn from_wire_id(id: u8) -> Result<Self, CryptoError> {
+        match id {
+            1 => Ok(CipherMode::Cbc),
+            2 => Ok(CipherMode::Ctr),
+            other => Err(CryptoError::UnsupportedAlgorithm(other)),
+        }
+    }
+}
+
+/// Encrypts with AES-CBC + PKCS#7. `iv` must be 16 bytes.
+pub fn cbc_encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let aes = Aes::new(key)?;
+    let iv: [u8; BLOCK_SIZE] = iv.try_into().map_err(|_| CryptoError::InvalidLength {
+        what: "CBC IV",
+        expected: BLOCK_SIZE,
+        actual: iv.len(),
+    })?;
+    let padded = pkcs7_pad(plaintext, BLOCK_SIZE);
+    let mut out = Vec::with_capacity(padded.len());
+    let mut prev = iv;
+    for chunk in padded.chunks_exact(BLOCK_SIZE) {
+        let mut block: [u8; BLOCK_SIZE] = chunk.try_into().unwrap();
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        aes.encrypt_block(&mut block);
+        out.extend_from_slice(&block);
+        prev = block;
+    }
+    Ok(out)
+}
+
+/// Decrypts AES-CBC + PKCS#7.
+pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let aes = Aes::new(key)?;
+    let iv: [u8; BLOCK_SIZE] = iv.try_into().map_err(|_| CryptoError::InvalidLength {
+        what: "CBC IV",
+        expected: BLOCK_SIZE,
+        actual: iv.len(),
+    })?;
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_SIZE) {
+        return Err(CryptoError::InvalidLength {
+            what: "CBC ciphertext",
+            expected: BLOCK_SIZE,
+            actual: ciphertext.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(ciphertext.len());
+    let mut prev = iv;
+    for chunk in ciphertext.chunks_exact(BLOCK_SIZE) {
+        let cipher_block: [u8; BLOCK_SIZE] = chunk.try_into().unwrap();
+        let mut block = cipher_block;
+        aes.decrypt_block(&mut block);
+        for (b, p) in block.iter_mut().zip(prev.iter()) {
+            *b ^= p;
+        }
+        out.extend_from_slice(&block);
+        prev = cipher_block;
+    }
+    pkcs7_unpad(&out, BLOCK_SIZE)
+}
+
+/// AES-CTR keystream transform (encryption and decryption are the same
+/// operation). `nonce` must be 16 bytes; the low 32 bits are treated as
+/// the big-endian block counter.
+pub fn ctr_transform(key: &[u8], nonce: &[u8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let aes = Aes::new(key)?;
+    let counter0: [u8; BLOCK_SIZE] = nonce.try_into().map_err(|_| CryptoError::InvalidLength {
+        what: "CTR nonce",
+        expected: BLOCK_SIZE,
+        actual: nonce.len(),
+    })?;
+    let mut out = Vec::with_capacity(data.len());
+    let mut counter = counter0;
+    for chunk in data.chunks(BLOCK_SIZE) {
+        let mut keystream = counter;
+        aes.encrypt_block(&mut keystream);
+        for (d, k) in chunk.iter().zip(keystream.iter()) {
+            out.push(d ^ k);
+        }
+        // Increment the big-endian counter (carry across all 16 bytes).
+        for byte in counter.iter_mut().rev() {
+            let (v, overflow) = byte.overflowing_add(1);
+            *byte = v;
+            if !overflow {
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // SP 800-38A F.2.1: CBC-AES128 encrypt, first block.
+    #[test]
+    fn sp800_38a_cbc_aes128_first_block() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = unhex("000102030405060708090a0b0c0d0e0f");
+        let pt = unhex("6bc1bee22e409f96e93d7e117393172a");
+        let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+        assert_eq!(
+            &ct[..16],
+            unhex("7649abac8119b246cee98e9b12e9197d").as_slice()
+        );
+    }
+
+    // SP 800-38A F.2.1 full four-block chain (our output additionally
+    // carries a padding block at the end).
+    #[test]
+    fn sp800_38a_cbc_aes128_chain() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let iv = unhex("000102030405060708090a0b0c0d0e0f");
+        let pt = unhex(
+            "6bc1bee22e409f96e93d7e117393172a\
+             ae2d8a571e03ac9c9eb76fac45af8e51\
+             30c81c46a35ce411e5fbc1191a0a52ef\
+             f69f2445df4f9b17ad2b417be66c3710",
+        );
+        let ct = cbc_encrypt(&key, &iv, &pt).unwrap();
+        let expected = unhex(
+            "7649abac8119b246cee98e9b12e9197d\
+             5086cb9b507219ee95db113a917678b2\
+             73bed6b8e3c1743b7116e69e22229516\
+             3ff1caa1681fac09120eca307586e1a7",
+        );
+        assert_eq!(&ct[..64], expected.as_slice());
+        assert_eq!(ct.len(), 80); // + one PKCS#7 padding block
+        assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), pt);
+    }
+
+    // SP 800-38A F.5.1: CTR-AES128, first block.
+    #[test]
+    fn sp800_38a_ctr_aes128_first_block() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let nonce = unhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+        let pt = unhex("6bc1bee22e409f96e93d7e117393172a");
+        let ct = ctr_transform(&key, &nonce, &pt).unwrap();
+        assert_eq!(ct, unhex("874d6191b620e3261bef6864990db6ce"));
+    }
+
+    #[test]
+    fn ctr_is_its_own_inverse() {
+        let key = [0x42u8; 24];
+        let nonce = [7u8; 16];
+        let msg = b"trace message: entity-17 is READY";
+        let ct = ctr_transform(&key, &nonce, msg).unwrap();
+        assert_ne!(&ct, msg);
+        assert_eq!(ctr_transform(&key, &nonce, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn ctr_counter_carries_across_bytes() {
+        // A nonce ending in 0xff forces the carry path immediately.
+        let key = [1u8; 16];
+        let nonce = [0xffu8; 16];
+        let data = vec![0u8; 48]; // 3 blocks
+        let ks = ctr_transform(&key, &nonce, &data).unwrap();
+        // Keystream blocks must differ (counter moved on wrap-around).
+        assert_ne!(&ks[..16], &ks[16..32]);
+        assert_ne!(&ks[16..32], &ks[32..48]);
+    }
+
+    #[test]
+    fn cbc_round_trip_aes192_paper_configuration() {
+        // The paper uses 192-bit AES keys for trace encryption.
+        let key = [0x5au8; 24];
+        let iv = [0x11u8; 16];
+        let msg = b"ALLS_WELL heartbeat payload for entity-42";
+        let ct = cbc_encrypt(&key, &iv, msg).unwrap();
+        assert_eq!(cbc_decrypt(&key, &iv, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn cbc_rejects_bad_iv_or_ciphertext() {
+        let key = [0u8; 16];
+        assert!(cbc_encrypt(&key, &[0u8; 15], b"x").is_err());
+        assert!(cbc_decrypt(&key, &[0u8; 16], &[0u8; 15]).is_err());
+        assert!(cbc_decrypt(&key, &[0u8; 16], &[]).is_err());
+    }
+
+    #[test]
+    fn cbc_tamper_detection_via_padding() {
+        let key = [9u8; 16];
+        let iv = [3u8; 16];
+        let ct = cbc_encrypt(&key, &iv, b"short").unwrap();
+        // Flipping a bit in the last block almost always corrupts padding.
+        let mut tampered = ct.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0xff;
+        let result = cbc_decrypt(&key, &iv, &tampered);
+        if let Ok(pt) = result {
+            assert_ne!(pt, b"short");
+        }
+    }
+
+    #[test]
+    fn wire_id_round_trip() {
+        for mode in [CipherMode::Cbc, CipherMode::Ctr] {
+            assert_eq!(CipherMode::from_wire_id(mode.wire_id()).unwrap(), mode);
+        }
+        assert!(CipherMode::from_wire_id(0).is_err());
+    }
+}

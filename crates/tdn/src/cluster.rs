@@ -1,0 +1,172 @@
+//! A replicated set of TDNs.
+//!
+//! "Since a given topic advertisement will be stored at multiple TDN
+//! nodes, this scheme sustains the loss of TDN nodes due to failures
+//! or downtimes" (§2.2). The cluster replicates every advertisement
+//! created at any member to all live members, and lets callers mark
+//! members failed to exercise exactly that property.
+
+use crate::node::{Tdn, TdnError};
+use crate::Result;
+use nb_crypto::cert::{Certificate, CertificateAuthority, Validity};
+use nb_crypto::rsa::RsaPublicKey;
+use nb_crypto::Uuid;
+use nb_transport::clock::SharedClock;
+use nb_wire::payload::{DiscoveryRestrictions, TopicAdvertisement};
+use rand::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+struct Member {
+    tdn: Arc<Tdn>,
+    alive: AtomicBool,
+}
+
+/// A cluster of replicating TDNs.
+pub struct TdnCluster {
+    members: Vec<Member>,
+}
+
+impl TdnCluster {
+    /// Stands up `n` TDNs with credentials issued by `ca`, all knowing
+    /// each other's keys.
+    pub fn new(
+        n: usize,
+        ca: &mut CertificateAuthority,
+        validity: Validity,
+        clock: SharedClock,
+        rng: &mut dyn Rng,
+    ) -> Result<Self> {
+        assert!(n >= 1);
+        let ca_key = ca.certificate().public_key.clone();
+        let mut tdns = Vec::with_capacity(n);
+        for i in 0..n {
+            let cred = ca
+                .issue(&format!("tdn:{i}"), validity, rng)
+                .map_err(TdnError::BadCredentials)?;
+            tdns.push(Arc::new(Tdn::new(
+                format!("tdn-{i}"),
+                cred,
+                ca_key.clone(),
+                clock.clone(),
+                0x7d7 + i as u64,
+            )));
+        }
+        // Full-mesh key exchange.
+        for a in &tdns {
+            for b in &tdns {
+                if a.id() != b.id() {
+                    a.add_peer(b.id(), b.public_key());
+                }
+            }
+        }
+        Ok(TdnCluster {
+            members: tdns
+                .into_iter()
+                .map(|tdn| Member {
+                    tdn,
+                    alive: AtomicBool::new(true),
+                })
+                .collect(),
+        })
+    }
+
+    /// Number of members (alive or not).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the cluster has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// A member TDN handle.
+    pub fn node(&self, idx: usize) -> Arc<Tdn> {
+        Arc::clone(&self.members[idx].tdn)
+    }
+
+    /// Marks a member failed: it stops receiving replicas and serving
+    /// queries through the cluster API.
+    pub fn fail_node(&self, idx: usize) {
+        self.members[idx].alive.store(false, Ordering::SeqCst);
+    }
+
+    /// Brings a failed member back (it will have missed replicas —
+    /// call [`TdnCluster::resync`] to heal it).
+    pub fn revive_node(&self, idx: usize) {
+        self.members[idx].alive.store(true, Ordering::SeqCst);
+    }
+
+    fn alive_members(&self) -> impl Iterator<Item = &Member> {
+        self.members
+            .iter()
+            .filter(|m| m.alive.load(Ordering::SeqCst))
+    }
+
+    /// Creates a topic at the first live TDN and replicates the
+    /// advertisement to every other live member.
+    pub fn create_topic(
+        &self,
+        credentials: &Certificate,
+        descriptor: &str,
+        restrictions: DiscoveryRestrictions,
+        lifetime_ms: u64,
+    ) -> Result<TopicAdvertisement> {
+        let primary = self
+            .alive_members()
+            .next()
+            .ok_or(TdnError::BadAdvertisement("no live TDN"))?;
+        let advert =
+            primary
+                .tdn
+                .create_topic(credentials, descriptor, restrictions, lifetime_ms)?;
+        for m in self.alive_members() {
+            if m.tdn.id() != primary.tdn.id() {
+                m.tdn.replicate(advert.clone())?;
+            }
+        }
+        Ok(advert)
+    }
+
+    /// Runs a discovery query against any live TDN.
+    pub fn discover(&self, query: &str, credentials: &Certificate) -> Vec<TopicAdvertisement> {
+        match self.alive_members().next() {
+            Some(m) => m.tdn.discover(query, credentials),
+            None => Vec::new(),
+        }
+    }
+
+    /// The public key a tracker should use to verify an advertisement
+    /// signed by `tdn_id`, if that member exists.
+    pub fn tdn_key(&self, tdn_id: &str) -> Option<RsaPublicKey> {
+        self.members
+            .iter()
+            .find(|m| m.tdn.id() == tdn_id)
+            .map(|m| m.tdn.public_key())
+    }
+
+    /// Copies every advertisement known to live members onto `idx`
+    /// (healing after revival).
+    pub fn resync(&self, idx: usize) -> Result<usize> {
+        let target = Arc::clone(&self.members[idx].tdn);
+        let mut copied = 0;
+        // Collect distinct advertisements from live members.
+        let mut seen: Vec<Uuid> = Vec::new();
+        for m in self.alive_members() {
+            if m.tdn.id() == target.id() {
+                continue;
+            }
+            for advert in m.tdn.all_advertisements() {
+                if !seen.contains(&advert.topic_id) {
+                    seen.push(advert.topic_id);
+                    if target.advertisement(&advert.topic_id).is_none() {
+                        target.replicate(advert)?;
+                        copied += 1;
+                    }
+                }
+            }
+        }
+        Ok(copied)
+    }
+}

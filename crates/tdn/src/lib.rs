@@ -1,0 +1,29 @@
+//! # nb-tdn — Topic Discovery Nodes
+//!
+//! The topic creation and discovery subsystem (paper §2.2 and §3.1,
+//! Ref \[2\]). A TDN:
+//!
+//! * accepts **topic creation requests** carrying the requester's
+//!   credentials, a descriptor, discovery restrictions, and a
+//!   lifetime;
+//! * generates the topic's 128-bit UUID **at the TDN** — "so that no
+//!   entity is able to claim some other entity's topic as its own";
+//! * mints a **cryptographically signed topic advertisement** binding
+//!   all of the above, establishing provenance;
+//! * **replicates** advertisements to its peer TDNs so the scheme
+//!   "sustains the loss of TDN nodes due to failures or downtimes";
+//! * answers **discovery queries** only when the presented credentials
+//!   satisfy the advertisement's discovery restrictions — unauthorized
+//!   queries are silently ignored (no response reveals the topic's
+//!   existence).
+
+pub mod cluster;
+pub mod node;
+pub mod query;
+
+pub use cluster::TdnCluster;
+pub use node::{Tdn, TdnError};
+pub use query::matches_descriptor;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TdnError>;

@@ -1,0 +1,204 @@
+//! A single Topic Discovery Node.
+
+use crate::query::matches_descriptor;
+use crate::Result;
+use nb_crypto::cert::{Certificate, Credential};
+use nb_crypto::digest::DigestAlgorithm;
+use nb_crypto::rsa::RsaPublicKey;
+use nb_crypto::{CryptoError, Uuid};
+use nb_transport::clock::SharedClock;
+use nb_wire::payload::{DiscoveryRestrictions, TopicAdvertisement};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// TDN errors.
+#[derive(Debug)]
+pub enum TdnError {
+    /// The requester's certificate failed verification.
+    BadCredentials(CryptoError),
+    /// The advertisement's TDN signature failed verification.
+    BadAdvertisement(&'static str),
+    /// Replication received an advertisement from an unknown TDN.
+    UnknownPeer(String),
+}
+
+impl fmt::Display for TdnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdnError::BadCredentials(e) => write!(f, "bad credentials: {e}"),
+            TdnError::BadAdvertisement(why) => write!(f, "bad advertisement: {why}"),
+            TdnError::UnknownPeer(id) => write!(f, "unknown peer TDN: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TdnError {}
+
+struct Store {
+    adverts: HashMap<Uuid, TopicAdvertisement>,
+    /// Public keys of peer TDNs (for verifying replicas).
+    peer_keys: HashMap<String, RsaPublicKey>,
+}
+
+/// A Topic Discovery Node.
+pub struct Tdn {
+    id: String,
+    credential: Credential,
+    ca_key: RsaPublicKey,
+    clock: SharedClock,
+    store: Mutex<Store>,
+    rng: Mutex<StdRng>,
+}
+
+impl Tdn {
+    /// Creates a TDN with its own credential and the CA key used to
+    /// validate requester certificates.
+    pub fn new(
+        id: impl Into<String>,
+        credential: Credential,
+        ca_key: RsaPublicKey,
+        clock: SharedClock,
+        seed: u64,
+    ) -> Self {
+        Tdn {
+            id: id.into(),
+            credential,
+            ca_key,
+            clock,
+            store: Mutex::new(Store {
+                adverts: HashMap::new(),
+                peer_keys: HashMap::new(),
+            }),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// This TDN's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The public key trackers use to verify this TDN's signatures.
+    pub fn public_key(&self) -> RsaPublicKey {
+        self.credential.certificate.public_key.clone()
+    }
+
+    /// Introduces a peer TDN (enables replica verification).
+    pub fn add_peer(&self, peer_id: &str, key: RsaPublicKey) {
+        self.store
+            .lock()
+            .peer_keys
+            .insert(peer_id.to_string(), key);
+    }
+
+    /// Handles a topic creation request (§3.1): verifies credentials,
+    /// generates the UUID *here*, signs and stores the advertisement.
+    pub fn create_topic(
+        &self,
+        credentials: &Certificate,
+        descriptor: &str,
+        restrictions: DiscoveryRestrictions,
+        lifetime_ms: u64,
+    ) -> Result<TopicAdvertisement> {
+        let now = self.clock.now_ms();
+        credentials
+            .verify(&self.ca_key, now)
+            .map_err(TdnError::BadCredentials)?;
+
+        let topic_id = Uuid::new_v4(&mut *self.rng.lock());
+        let mut advert = TopicAdvertisement {
+            topic_id,
+            descriptor: descriptor.to_string(),
+            owner_cert: credentials.clone(),
+            restrictions,
+            created_ms: now,
+            lifetime_ms,
+            tdn_id: self.id.clone(),
+            signature: Vec::new(),
+        };
+        advert.signature = self
+            .credential
+            .private_key
+            .sign(DigestAlgorithm::Sha256, &advert.tbs_bytes())
+            .map_err(TdnError::BadCredentials)?;
+        self.store
+            .lock()
+            .adverts
+            .insert(advert.topic_id, advert.clone());
+        Ok(advert)
+    }
+
+    /// Accepts a replica from a peer TDN, verifying the peer's
+    /// signature before storing.
+    pub fn replicate(&self, advert: TopicAdvertisement) -> Result<()> {
+        let peer_key = {
+            let store = self.store.lock();
+            store.peer_keys.get(&advert.tdn_id).cloned()
+        };
+        let key = match peer_key {
+            Some(k) => k,
+            None if advert.tdn_id == self.id => self.public_key(),
+            None => return Err(TdnError::UnknownPeer(advert.tdn_id.clone())),
+        };
+        advert
+            .verify(&key)
+            .map_err(|_| TdnError::BadAdvertisement("signature"))?;
+        self.store.lock().adverts.insert(advert.topic_id, advert);
+        Ok(())
+    }
+
+    /// Evaluates a discovery query (§3.4). Unauthorized or
+    /// badly-credentialed requests return an **empty** result — the
+    /// paper's TDN silently ignores them rather than revealing that a
+    /// matching topic exists.
+    pub fn discover(&self, query: &str, credentials: &Certificate) -> Vec<TopicAdvertisement> {
+        let now = self.clock.now_ms();
+        if credentials.verify(&self.ca_key, now).is_err() {
+            return Vec::new();
+        }
+        let store = self.store.lock();
+        store
+            .adverts
+            .values()
+            .filter(|a| !a.is_expired(now))
+            .filter(|a| matches_descriptor(query, &a.descriptor))
+            .filter(|a| a.restrictions.permits(credentials))
+            .cloned()
+            .collect()
+    }
+
+    /// Looks up an advertisement by topic id (no restriction check —
+    /// used by holders of the UUID itself, e.g. brokers validating
+    /// ownership during registration).
+    pub fn advertisement(&self, topic_id: &Uuid) -> Option<TopicAdvertisement> {
+        self.store.lock().adverts.get(topic_id).cloned()
+    }
+
+    /// Removes expired advertisements; returns how many were purged.
+    pub fn purge_expired(&self) -> usize {
+        let now = self.clock.now_ms();
+        let mut store = self.store.lock();
+        let before = store.adverts.len();
+        store.adverts.retain(|_, a| !a.is_expired(now));
+        before - store.adverts.len()
+    }
+
+    /// All stored advertisements (used by cluster resync).
+    pub fn all_advertisements(&self) -> Vec<TopicAdvertisement> {
+        self.store.lock().adverts.values().cloned().collect()
+    }
+
+    /// Number of stored advertisements.
+    pub fn advert_count(&self) -> usize {
+        self.store.lock().adverts.len()
+    }
+}
+
+impl fmt::Debug for Tdn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tdn({}, {} adverts)", self.id, self.advert_count())
+    }
+}

@@ -1,0 +1,88 @@
+//! Discovery-query evaluation.
+//!
+//! The paper keeps trace-topic descriptors deliberately simple —
+//! `Availability/Traces/{Entity-ID}` — "so that trackers can construct
+//! appropriate discovery queries simply by utilizing the Entity-ID".
+//! Trackers issue queries of the form `/Liveness/{Entity-ID}` (§3.4).
+//! We support three query shapes:
+//!
+//! * `/Liveness/{entity}` — rewritten to the canonical availability
+//!   descriptor,
+//! * an exact descriptor string,
+//! * a descriptor prefix ending in `*` (e.g. `Availability/Traces/*`).
+
+/// Rewrites a query into descriptor-matching form.
+fn canonical_query(query: &str) -> String {
+    let trimmed = query.trim();
+    if let Some(entity) = trimmed
+        .strip_prefix("/Liveness/")
+        .or_else(|| trimmed.strip_prefix("Liveness/"))
+    {
+        return format!("Availability/Traces/{entity}");
+    }
+    trimmed.strip_prefix('/').unwrap_or(trimmed).to_string()
+}
+
+/// Whether `query` matches `descriptor`.
+pub fn matches_descriptor(query: &str, descriptor: &str) -> bool {
+    let q = canonical_query(query);
+    if let Some(prefix) = q.strip_suffix('*') {
+        descriptor.starts_with(prefix)
+    } else {
+        descriptor == q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness_query_rewrites_to_availability_descriptor() {
+        assert!(matches_descriptor(
+            "/Liveness/worker-3",
+            "Availability/Traces/worker-3"
+        ));
+        assert!(matches_descriptor(
+            "Liveness/worker-3",
+            "Availability/Traces/worker-3"
+        ));
+        assert!(!matches_descriptor(
+            "/Liveness/worker-3",
+            "Availability/Traces/worker-4"
+        ));
+    }
+
+    #[test]
+    fn exact_descriptor_match() {
+        assert!(matches_descriptor(
+            "Availability/Traces/e1",
+            "Availability/Traces/e1"
+        ));
+        assert!(matches_descriptor(
+            "/Availability/Traces/e1",
+            "Availability/Traces/e1"
+        ));
+        assert!(!matches_descriptor(
+            "Availability/Traces/e1",
+            "Availability/Traces/e10"
+        ));
+    }
+
+    #[test]
+    fn prefix_wildcard() {
+        assert!(matches_descriptor(
+            "Availability/Traces/*",
+            "Availability/Traces/anything"
+        ));
+        assert!(!matches_descriptor("Other/*", "Availability/Traces/x"));
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        assert!(matches_descriptor(
+            "  /Liveness/e1  ",
+            "Availability/Traces/e1"
+        ));
+    }
+}

@@ -1,0 +1,843 @@
+//! The broker-side tracing engine (paper §3.3–§3.5, §4, §5).
+//!
+//! One engine runs at each broker that hosts traced entities. It is
+//! "responsible for polling — the pull part — the traced entity at
+//! regular intervals and for generating — the push part — traces for
+//! the traced entity".
+
+use crate::channels;
+use crate::config::TracingConfig;
+use crate::failure::{DetectorEvent, FailureDetector, Liveness};
+use crate::interest::{InterestSet, TrackerInterest};
+use nb_broker::Broker;
+use nb_crypto::cert::{Certificate, Credential};
+use nb_crypto::hybrid::SealedEnvelope;
+use nb_crypto::modes::{cbc_encrypt, ctr_transform, CipherMode};
+use nb_crypto::rsa::RsaPublicKey;
+use nb_crypto::Uuid;
+use nb_transport::clock::SharedClock;
+use nb_wire::codec::{Decode, Encode};
+use nb_wire::payload::{SessionGrant, TraceKeyMaterial};
+use nb_wire::token::AuthorizationToken;
+use nb_wire::trace::{topics, EntityState, TraceCategory, TraceEvent, TraceKind};
+use nb_wire::{Message, Payload};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Everything an engine needs at start-up.
+pub struct EngineSetup {
+    /// The broker this engine runs at.
+    pub broker: Broker,
+    /// The broker's credential (entities seal keys to its public key).
+    pub credential: Credential,
+    /// CA key for validating entity/tracker certificates.
+    pub ca_key: RsaPublicKey,
+    /// Public keys of the TDNs whose advertisements we accept.
+    pub tdn_keys: HashMap<String, RsaPublicKey>,
+    /// Time source.
+    pub clock: SharedClock,
+    /// Scheme configuration.
+    pub config: TracingConfig,
+    /// RNG seed (session ids, IVs, trace keys).
+    pub seed: u64,
+}
+
+/// Counters for benchmarks and tests.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Trace events published.
+    pub traces_published: AtomicU64,
+    /// Trace events suppressed by interest gating (§3.5).
+    pub traces_gated: AtomicU64,
+    /// Pings sent.
+    pub pings_sent: AtomicU64,
+    /// FAILURE_SUSPICION events.
+    pub suspicions: AtomicU64,
+    /// FAILED events.
+    pub failures: AtomicU64,
+    /// Messages whose signature/MAC failed.
+    pub auth_failures: AtomicU64,
+    /// Sealed trace keys delivered to trackers.
+    pub keys_delivered: AtomicU64,
+}
+
+/// Snapshot of [`EngineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStatsSnapshot {
+    /// Trace events published.
+    pub traces_published: u64,
+    /// Trace events suppressed by interest gating.
+    pub traces_gated: u64,
+    /// Pings sent.
+    pub pings_sent: u64,
+    /// FAILURE_SUSPICION events.
+    pub suspicions: u64,
+    /// FAILED events.
+    pub failures: u64,
+    /// Authentication failures.
+    pub auth_failures: u64,
+    /// Trace keys delivered.
+    pub keys_delivered: u64,
+}
+
+/// Upper bound on messages parked while waiting for a reordered
+/// SymmetricKeySetup to arrive.
+const MAX_PENDING_MAC: usize = 32;
+
+struct Session {
+    entity_id: String,
+    trace_topic: Uuid,
+    session_id: Uuid,
+    cert: Certificate,
+    state: EntityState,
+    detector: FailureDetector,
+    token: Option<AuthorizationToken>,
+    /// §6.3 shared HMAC key (replaces per-message RSA verification).
+    mac_key: Option<Vec<u8>>,
+    /// §5.1 secret trace key and negotiated cipher mode (traces
+    /// encrypted when present).
+    trace_key: Option<(Vec<u8>, CipherMode)>,
+    interest: InterestSet,
+    trace_seq: u64,
+    joined: bool,
+    last_gauge_ms: u64,
+    last_metrics_ms: u64,
+    /// MAC'd messages that overtook the SymmetricKeySetup (replayed
+    /// once the key arrives).
+    pending_mac: Vec<Message>,
+}
+
+struct EngineInner {
+    broker: Broker,
+    credential: Credential,
+    ca_key: RsaPublicKey,
+    tdn_keys: HashMap<String, RsaPublicKey>,
+    clock: SharedClock,
+    config: TracingConfig,
+    sessions: Mutex<HashMap<String, Session>>,
+    /// trace topic → entity id (for interest responses).
+    topic_index: Mutex<HashMap<Uuid, String>>,
+    stats: EngineStats,
+    stop: AtomicBool,
+    rng: Mutex<StdRng>,
+    consumer: String,
+}
+
+/// Handle to a running tracing engine.
+#[derive(Clone)]
+pub struct TracingEngine {
+    inner: Arc<EngineInner>,
+}
+
+impl TracingEngine {
+    /// Starts the engine at `setup.broker`: subscribes to the
+    /// registration channel and spawns the dispatcher (and, unless
+    /// `auto_tick` is off, the ticker).
+    pub fn start(setup: EngineSetup) -> Self {
+        let consumer = format!("tracing-engine@{}", setup.broker.id());
+        let rx = setup.broker.register_internal(&consumer);
+        setup
+            .broker
+            .subscribe_internal(&consumer, topics::registration())
+            .expect("engine may subscribe to the registration channel");
+
+        let inner = Arc::new(EngineInner {
+            broker: setup.broker,
+            credential: setup.credential,
+            ca_key: setup.ca_key,
+            tdn_keys: setup.tdn_keys,
+            clock: setup.clock,
+            config: setup.config,
+            sessions: Mutex::new(HashMap::new()),
+            topic_index: Mutex::new(HashMap::new()),
+            stats: EngineStats::default(),
+            stop: AtomicBool::new(false),
+            rng: Mutex::new(StdRng::seed_from_u64(setup.seed)),
+            consumer,
+        });
+
+        let dispatch_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name(format!("{}-dispatch", inner.consumer))
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    if dispatch_inner.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    handle_message(&dispatch_inner, msg);
+                }
+            })
+            .expect("spawn engine dispatcher");
+
+        if inner.config.auto_tick {
+            let tick_inner = Arc::clone(&inner);
+            let tick = inner.config.tick;
+            std::thread::Builder::new()
+                .name(format!("{}-ticker", inner.consumer))
+                .spawn(move || loop {
+                    if tick_inner.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    run_tick(&tick_inner);
+                    std::thread::sleep(tick);
+                })
+                .expect("spawn engine ticker");
+        }
+
+        TracingEngine { inner }
+    }
+
+    /// Runs one scheduling pass now (deterministic testing with
+    /// `auto_tick` disabled).
+    pub fn tick_now(&self) {
+        run_tick(&self.inner);
+    }
+
+    /// Stops background threads (best effort).
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// The public key entities seal their keys to.
+    pub fn public_key(&self) -> RsaPublicKey {
+        self.inner.credential.certificate.public_key.clone()
+    }
+
+    /// Number of live tracing sessions.
+    pub fn session_count(&self) -> usize {
+        self.inner.sessions.lock().len()
+    }
+
+    /// Liveness verdict for an entity, if hosted here.
+    pub fn liveness_of(&self, entity_id: &str) -> Option<Liveness> {
+        self.inner
+            .sessions
+            .lock()
+            .get(entity_id)
+            .map(|s| s.detector.liveness())
+    }
+
+    /// Whether the engine currently holds a delegation token for the
+    /// entity.
+    pub fn has_token(&self, entity_id: &str) -> bool {
+        self.inner
+            .sessions
+            .lock()
+            .get(entity_id)
+            .is_some_and(|s| s.token.is_some())
+    }
+
+    /// Number of trackers registered as interested in `entity_id`.
+    pub fn interest_count(&self, entity_id: &str) -> usize {
+        self.inner
+            .sessions
+            .lock()
+            .get(entity_id)
+            .map(|s| s.interest.len())
+            .unwrap_or(0)
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> EngineStatsSnapshot {
+        let s = &self.inner.stats;
+        EngineStatsSnapshot {
+            traces_published: s.traces_published.load(Ordering::Relaxed),
+            traces_gated: s.traces_gated.load(Ordering::Relaxed),
+            pings_sent: s.pings_sent.load(Ordering::Relaxed),
+            suspicions: s.suspicions.load(Ordering::Relaxed),
+            failures: s.failures.load(Ordering::Relaxed),
+            auth_failures: s.auth_failures.load(Ordering::Relaxed),
+            keys_delivered: s.keys_delivered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn handle_message(inner: &Arc<EngineInner>, msg: Message) {
+    match &msg.payload {
+        Payload::TraceRegistration { .. } => handle_registration(inner, &msg),
+        Payload::InterestResponse { .. } => handle_interest_response(inner, &msg),
+        Payload::PingResponse { .. }
+        | Payload::StateReport { .. }
+        | Payload::LoadReport { .. }
+        | Payload::SilentModeRequest
+        | Payload::DelegationToken { .. }
+        | Payload::TraceKeyDelivery { .. }
+        | Payload::SymmetricKeySetup { .. } => handle_session_message(inner, msg),
+        _ => {}
+    }
+}
+
+/// §3.2: verify credentials, proof of possession and topic provenance,
+/// then grant a session.
+fn handle_registration(inner: &Arc<EngineInner>, msg: &Message) {
+    let Payload::TraceRegistration {
+        entity_id,
+        credentials,
+        advertisement,
+    } = &msg.payload
+    else {
+        return;
+    };
+    let now = inner.clock.now_ms();
+    let reply_topic = channels::registration_reply(entity_id);
+
+    let reject = |reason: &str| {
+        let reply = Message::new(
+            inner.broker.next_message_id(),
+            reply_topic.clone(),
+            inner.broker.id().to_string(),
+            now,
+            Payload::RegistrationRejected {
+                reason: reason.to_string(),
+            },
+        )
+        .correlated(msg.id);
+        inner.broker.publish_internal(reply);
+    };
+
+    // 1. Certificate must chain to the CA.
+    if credentials.verify(&inner.ca_key, now).is_err() {
+        inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+        reject("invalid credentials");
+        return;
+    }
+    // 2. Proof of possession + tamper evidence: the message signature
+    //    must verify under the presented certificate (§3.2).
+    if msg.verify_signature(&credentials.public_key).is_err() {
+        inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+        reject("signature verification failed");
+        return;
+    }
+    // 3. Topic provenance: the advertisement must be TDN-signed and
+    //    owned by this very certificate.
+    let tdn_ok = inner
+        .tdn_keys
+        .get(&advertisement.tdn_id)
+        .map(|key| advertisement.verify(key).is_ok())
+        .unwrap_or(false);
+    if !tdn_ok {
+        reject("advertisement provenance failed");
+        return;
+    }
+    if advertisement.owner_cert != *credentials {
+        reject("advertisement owned by a different credential");
+        return;
+    }
+    if advertisement.is_expired(now) {
+        reject("trace topic expired");
+        return;
+    }
+
+    // Idempotency: a duplicated or retried registration (lossy links,
+    // duplicating links) must re-issue the SAME session rather than
+    // shadow the existing one. A FAILED entity re-registering is the
+    // recovery path instead: tear the dead session down and grant a
+    // fresh one (the paper's implied rejoin after failure).
+    let failed_session = inner
+        .sessions
+        .lock()
+        .get(entity_id.as_str())
+        .map(|s| s.detector.liveness() == Liveness::Failed)
+        .unwrap_or(false);
+    if failed_session {
+        let removed = inner.sessions.lock().remove(entity_id.as_str());
+        if let Some(old) = removed {
+            inner.topic_index.lock().remove(&old.trace_topic);
+            inner.broker.unsubscribe_internal(
+                &inner.consumer,
+                &topics::entity_to_broker(&old.trace_topic, &old.session_id),
+            );
+        }
+    }
+    if let Some(existing) = inner.sessions.lock().get(entity_id.as_str()) {
+        if existing.trace_topic == advertisement.topic_id {
+            let grant = SessionGrant {
+                request_id: msg.id,
+                session_id: existing.session_id,
+            };
+            let sealed = {
+                let mut rng = inner.rng.lock();
+                SealedEnvelope::seal(
+                    &credentials.public_key,
+                    &grant.to_bytes(),
+                    nb_crypto::aes::KeySize::Aes192,
+                    &mut *rng,
+                )
+            };
+            if let Ok(sealed) = sealed {
+                let reply = Message::new(
+                    inner.broker.next_message_id(),
+                    reply_topic,
+                    inner.broker.id().to_string(),
+                    now,
+                    Payload::RegistrationAccepted { sealed },
+                )
+                .correlated(msg.id);
+                inner.broker.publish_internal(reply);
+            }
+            return;
+        }
+    }
+
+    // Grant the session.
+    let session_id = Uuid::new_v4(&mut *inner.rng.lock());
+    let trace_topic = advertisement.topic_id;
+
+    // The broker subscribes to the entity→broker session channel.
+    let channel = topics::entity_to_broker(&trace_topic, &session_id);
+    if inner
+        .broker
+        .subscribe_internal(&inner.consumer, channel)
+        .is_err()
+    {
+        reject("session channel subscription failed");
+        return;
+    }
+    // Also to the interest-response channel for this trace topic.
+    let _ = inner
+        .broker
+        .subscribe_internal(&inner.consumer, topics::interest_response(&trace_topic));
+    // Let the routing layer fully verify our future tokens.
+    inner
+        .broker
+        .register_topic_owner(trace_topic, credentials.public_key.clone());
+
+    let grant = SessionGrant {
+        request_id: msg.id,
+        session_id,
+    };
+    let sealed = {
+        let mut rng = inner.rng.lock();
+        SealedEnvelope::seal(
+            &credentials.public_key,
+            &grant.to_bytes(),
+            nb_crypto::aes::KeySize::Aes192,
+            &mut *rng,
+        )
+    };
+    let Ok(sealed) = sealed else {
+        reject("response sealing failed");
+        return;
+    };
+
+    let session = Session {
+        entity_id: entity_id.clone(),
+        trace_topic,
+        session_id,
+        cert: credentials.clone(),
+        state: EntityState::Initializing,
+        detector: FailureDetector::new(&inner.config),
+        token: None,
+        mac_key: None,
+        trace_key: None,
+        interest: InterestSet::new(),
+        trace_seq: 1,
+        joined: false,
+        last_gauge_ms: 0,
+        last_metrics_ms: 0,
+        pending_mac: Vec::new(),
+    };
+    inner
+        .sessions
+        .lock()
+        .insert(entity_id.clone(), session);
+    inner
+        .topic_index
+        .lock()
+        .insert(trace_topic, entity_id.clone());
+
+    let reply = Message::new(
+        inner.broker.next_message_id(),
+        reply_topic,
+        inner.broker.id().to_string(),
+        now,
+        Payload::RegistrationAccepted { sealed },
+    )
+    .correlated(msg.id);
+    inner.broker.publish_internal(reply);
+}
+
+/// §4.2: every trace message from the entity must demonstrate
+/// possession of credentials — RSA signature, or HMAC after the §6.3
+/// key exchange.
+///
+/// Both authenticators bind the message to the same principal (the
+/// signature to the registered certificate, the MAC to the key that
+/// was sealed to us under that certificate), so accepting either is
+/// sound. Accepting either also makes the scheme robust to messages
+/// reordered around the `SymmetricKeySetup` transition — UDP-style
+/// links can deliver the first MAC'd messages before the setup itself.
+fn authenticate(inner: &EngineInner, session: &Session, msg: &Message) -> bool {
+    if let Some(key) = &session.mac_key {
+        if msg.mac.is_some() && msg.verify_mac(key).is_ok() {
+            return true;
+        }
+    }
+    if msg.signature.is_some() && msg.verify_signature(&session.cert.public_key).is_ok() {
+        return true;
+    }
+    inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+    false
+}
+
+fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
+    let now = inner.clock.now_ms();
+    let mut sessions = inner.sessions.lock();
+    let Some(session) = sessions.get_mut(&msg.sender) else {
+        return;
+    };
+
+    // The §6.3 transition message itself must carry an RSA signature.
+    let is_key_setup = matches!(msg.payload, Payload::SymmetricKeySetup { .. });
+    if is_key_setup {
+        if msg.verify_signature(&session.cert.public_key).is_err() {
+            inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    } else if !authenticate(inner, session, &msg) {
+        // A MAC'd message that overtook the key setup on a reordering
+        // link: park it until the setup arrives (bounded).
+        if msg.mac.is_some()
+            && session.mac_key.is_none()
+            && session.pending_mac.len() < MAX_PENDING_MAC
+        {
+            // Undo the failure count — this is deferral, not refusal.
+            inner.stats.auth_failures.fetch_sub(1, Ordering::Relaxed);
+            session.pending_mac.push(msg);
+        }
+        return;
+    }
+
+    match msg.payload {
+        Payload::PingResponse {
+            seq,
+            echo_sent_at_ms: _,
+            state,
+        } => {
+            session.state = state;
+            let recovered = session.detector.on_response(seq, now);
+            if recovered == Some(DetectorEvent::Recover) {
+                publish_trace(inner, session, TraceKind::AllsWell, now);
+            }
+            // ALLS_WELL heartbeat on every answered ping (gated on
+            // interest like all AllUpdates traffic).
+            publish_trace(inner, session, TraceKind::AllsWell, now);
+        }
+        Payload::StateReport { from, to } => {
+            session.state = to;
+            publish_trace(inner, session, TraceKind::StateTransition { from, to }, now);
+        }
+        Payload::LoadReport { load } => {
+            publish_trace(inner, session, TraceKind::LoadInformation(load), now);
+        }
+        Payload::SilentModeRequest => {
+            publish_trace(inner, session, TraceKind::RevertingToSilentMode, now);
+            let entity_id = session.entity_id.clone();
+            let trace_topic = session.trace_topic;
+            let session_id = session.session_id;
+            sessions.remove(&entity_id);
+            drop(sessions);
+            inner.topic_index.lock().remove(&trace_topic);
+            inner.broker.unsubscribe_internal(
+                &inner.consumer,
+                &topics::entity_to_broker(&trace_topic, &session_id),
+            );
+        }
+        Payload::DelegationToken { token } => {
+            // Verify the delegation actually comes from the topic owner.
+            if token
+                .verify(
+                    &session.cert.public_key,
+                    nb_wire::token::Rights::Publish,
+                    now,
+                    inner.config.token_skew_ms,
+                )
+                .is_err()
+            {
+                inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            session.token = Some(token);
+            if !session.joined {
+                session.joined = true;
+                publish_trace(inner, session, TraceKind::Join, now);
+                gauge_interest(inner, session, now);
+            }
+        }
+        Payload::TraceKeyDelivery { sealed } => {
+            // §5.1: the entity's secret trace key arrives sealed to us,
+            // together with the negotiated algorithm and padding.
+            if let Ok(bytes) = sealed.open(&inner.credential.private_key) {
+                if let Ok(material) = TraceKeyMaterial::from_bytes(&bytes) {
+                    if let Ok(mode) = material.mode() {
+                        session.trace_key = Some((material.key, mode));
+                    }
+                }
+            }
+        }
+        Payload::SymmetricKeySetup { sealed } => {
+            if let Ok(key) = sealed.open(&inner.credential.private_key) {
+                session.mac_key = Some(key);
+                // Replay anything that overtook the setup.
+                let parked = std::mem::take(&mut session.pending_mac);
+                if !parked.is_empty() {
+                    drop(sessions);
+                    for parked_msg in parked {
+                        handle_session_message(inner, parked_msg);
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// §3.5: a tracker answered a GAUGE_INTEREST probe.
+fn handle_interest_response(inner: &Arc<EngineInner>, msg: &Message) {
+    let Payload::InterestResponse {
+        credentials,
+        interests,
+        reply_topic,
+    } = &msg.payload
+    else {
+        return;
+    };
+    let now = inner.clock.now_ms();
+    // Trackers must prove credential possession too.
+    if credentials.verify(&inner.ca_key, now).is_err()
+        || msg.verify_signature(&credentials.public_key).is_err()
+    {
+        inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    // Locate the session by the trace topic embedded in the channel.
+    let Some(trace_topic) = trace_topic_from_message(msg) else {
+        return;
+    };
+    let entity_id = {
+        let index = inner.topic_index.lock();
+        index.get(&trace_topic).cloned()
+    };
+    let Some(entity_id) = entity_id else { return };
+
+    let mut sessions = inner.sessions.lock();
+    let Some(session) = sessions.get_mut(&entity_id) else {
+        return;
+    };
+    let first_contact = !session.interest.knows(&msg.sender);
+    session.interest.register(
+        &msg.sender,
+        TrackerInterest {
+            certificate: credentials.clone(),
+            categories: interests.clone(),
+            reply_topic: reply_topic.clone(),
+            key_delivered: false,
+            refreshed_ms: now,
+        },
+    );
+    // A tracker that registers interest after the original JOIN was
+    // published would otherwise never learn the entity is available;
+    // re-announce on first contact.
+    if first_contact && session.joined && session.detector.liveness() != Liveness::Failed {
+        publish_trace(inner, session, TraceKind::Join, now);
+    }
+
+    // Secured tracing: deliver the trace key to newly interested,
+    // authorized trackers (§5.1).
+    if session.trace_key.is_some() {
+        deliver_pending_keys(inner, session, now);
+    }
+}
+
+fn trace_topic_from_message(msg: &Message) -> Option<Uuid> {
+    let constrained = nb_wire::constrained::ConstrainedTopic::parse(&msg.topic).ok()??;
+    constrained.suffixes.first()?.parse().ok()
+}
+
+fn deliver_pending_keys(inner: &EngineInner, session: &mut Session, now: u64) {
+    let Some((trace_key, mode)) = session.trace_key.clone() else {
+        return;
+    };
+    let Some(token) = session.token.clone() else {
+        return;
+    };
+    for (tracker_id, interest) in session.interest.pending_key_delivery() {
+        let material = TraceKeyMaterial::aes192(trace_key.clone(), mode);
+        let sealed = {
+            let mut rng = inner.rng.lock();
+            SealedEnvelope::seal(
+                &interest.certificate.public_key,
+                &material.to_bytes(),
+                nb_crypto::aes::KeySize::Aes192,
+                &mut *rng,
+            )
+        };
+        let Ok(sealed) = sealed else { continue };
+        let msg = Message::new(
+            inner.broker.next_message_id(),
+            interest.reply_topic.clone(),
+            inner.broker.id().to_string(),
+            now,
+            Payload::TraceKeyDelivery { sealed },
+        )
+        .with_token(token.clone());
+        inner.broker.publish_internal(msg);
+        session.interest.mark_key_delivered(&tracker_id);
+        inner.stats.keys_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Publishes a GAUGE_INTEREST probe (§3.5).
+fn gauge_interest(inner: &EngineInner, session: &mut Session, now: u64) {
+    let Some(token) = session.token.clone() else {
+        return;
+    };
+    let msg = Message::new(
+        inner.broker.next_message_id(),
+        topics::gauge_interest(&session.trace_topic),
+        inner.broker.id().to_string(),
+        now,
+        Payload::GaugeInterestRequest {
+            secured: session.trace_key.is_some(),
+        },
+    )
+    .with_token(token);
+    inner.broker.publish_internal(msg);
+    session.last_gauge_ms = now;
+}
+
+/// Publishes one trace event, applying interest gating, encryption and
+/// token attachment.
+fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, now: u64) {
+    let category = kind.category();
+    // Change notifications always flow (they are the "change
+    // notifications only" service tier); the rest is interest-gated.
+    let gated = category != TraceCategory::ChangeNotifications
+        && !session.interest.wants(category);
+    if gated {
+        inner.stats.traces_gated.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let Some(token) = session.token.clone() else {
+        return; // cannot publish without delegation (§4.3)
+    };
+    let event = TraceEvent {
+        entity_id: session.entity_id.clone(),
+        trace_topic: session.trace_topic,
+        seq: session.trace_seq,
+        timestamp_ms: now,
+        kind,
+    };
+    session.trace_seq += 1;
+
+    let payload = match &session.trace_key {
+        Some((key, mode)) => {
+            // The iv doubles as the CTR nonce in counter mode.
+            let mut iv = [0u8; 16];
+            {
+                let mut rng = inner.rng.lock();
+                (*rng).fill_bytes(&mut iv);
+            }
+            let encrypted = match mode {
+                CipherMode::Cbc => cbc_encrypt(key, &iv, &event.to_bytes()),
+                CipherMode::Ctr => ctr_transform(key, &iv, &event.to_bytes()),
+            };
+            match encrypted {
+                Ok(ciphertext) => Payload::EncryptedTrace { iv, ciphertext },
+                Err(_) => return,
+            }
+        }
+        None => Payload::Trace { event },
+    };
+
+    let msg = Message::new(
+        inner.broker.next_message_id(),
+        topics::publication(&session.trace_topic, category),
+        inner.broker.id().to_string(),
+        now,
+        payload,
+    )
+    .with_token(token);
+    inner.broker.publish_internal(msg);
+    inner.stats.traces_published.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One scheduler pass: expire pings, emit new pings, re-gauge
+/// interest, publish periodic network metrics.
+fn run_tick(inner: &Arc<EngineInner>) {
+    let now = inner.clock.now_ms();
+    let mut sessions = inner.sessions.lock();
+    for session in sessions.values_mut() {
+        // Failure detection.
+        match session.detector.on_tick(now) {
+            Some(DetectorEvent::Suspect) => {
+                inner.stats.suspicions.fetch_add(1, Ordering::Relaxed);
+                publish_trace(inner, session, TraceKind::FailureSuspicion, now);
+            }
+            Some(DetectorEvent::Fail) => {
+                inner.stats.failures.fetch_add(1, Ordering::Relaxed);
+                publish_trace(inner, session, TraceKind::Failed, now);
+            }
+            _ => {}
+        }
+
+        // Ping issue (failed entities are no longer pinged; they
+        // re-enter via a fresh registration or a late response).
+        if session.detector.liveness() != Liveness::Failed
+            && session.joined
+            && session.detector.ping_due(now)
+        {
+            let seq = session.detector.on_ping_sent(now);
+            let ping = Message::new(
+                inner.broker.next_message_id(),
+                topics::broker_to_entity(
+                    &session.entity_id,
+                    &session.trace_topic,
+                    &session.session_id,
+                ),
+                inner.broker.id().to_string(),
+                now,
+                Payload::Ping {
+                    seq,
+                    sent_at_ms: now,
+                },
+            );
+            inner.broker.publish_internal(ping);
+            inner.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Periodic interest re-gauging, plus expiry of trackers that
+        // stopped answering probes (their gate contribution lapses
+        // after several missed probe rounds).
+        if session.joined
+            && now.saturating_sub(session.last_gauge_ms)
+                >= inner.config.gauge_interval.as_millis() as u64
+        {
+            gauge_interest(inner, session, now);
+            let ttl = 4 * inner.config.gauge_interval.as_millis() as u64;
+            session.interest.expire_stale(now.saturating_sub(ttl));
+        }
+
+        // Periodic network metrics.
+        if session.joined
+            && now.saturating_sub(session.last_metrics_ms)
+                >= inner.config.metrics_interval.as_millis() as u64
+        {
+            session.last_metrics_ms = now;
+            let window = session.detector.window();
+            if !window.is_empty() {
+                let metrics = nb_wire::trace::NetworkMetrics {
+                    loss_rate: window.loss_rate(),
+                    transit_delay_ms: window.mean_rtt_ms().unwrap_or(0.0),
+                    bandwidth_bps: 0.0,
+                    out_of_order_rate: window.out_of_order_rate(),
+                };
+                publish_trace(inner, session, TraceKind::NetworkMetrics(metrics), now);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Tracing-layer error type.
+
+use nb_broker::BrokerError;
+use nb_crypto::CryptoError;
+use nb_tdn::TdnError;
+use nb_wire::WireError;
+use std::fmt;
+
+/// Errors raised by the tracing runtimes.
+#[derive(Debug)]
+pub enum TracingError {
+    /// Substrate broker error.
+    Broker(BrokerError),
+    /// Wire encode/decode or token error.
+    Wire(WireError),
+    /// Cryptographic failure.
+    Crypto(CryptoError),
+    /// TDN interaction failed.
+    Tdn(TdnError),
+    /// Registration was rejected by the broker.
+    RegistrationRejected(String),
+    /// No broker could be discovered.
+    NoBroker,
+    /// Discovery returned no (authorized) trace topic.
+    TopicNotFound(String),
+    /// An operation timed out.
+    Timeout(&'static str),
+    /// A message failed authentication (signature or MAC).
+    AuthenticationFailed(&'static str),
+    /// The runtime was already stopped.
+    Stopped,
+}
+
+impl fmt::Display for TracingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TracingError::Broker(e) => write!(f, "broker: {e}"),
+            TracingError::Wire(e) => write!(f, "wire: {e}"),
+            TracingError::Crypto(e) => write!(f, "crypto: {e}"),
+            TracingError::Tdn(e) => write!(f, "tdn: {e}"),
+            TracingError::RegistrationRejected(r) => write!(f, "registration rejected: {r}"),
+            TracingError::NoBroker => write!(f, "no broker discoverable"),
+            TracingError::TopicNotFound(e) => write!(f, "no trace topic for entity {e}"),
+            TracingError::Timeout(what) => write!(f, "timeout waiting for {what}"),
+            TracingError::AuthenticationFailed(what) => {
+                write!(f, "authentication failed: {what}")
+            }
+            TracingError::Stopped => write!(f, "runtime stopped"),
+        }
+    }
+}
+
+impl std::error::Error for TracingError {}
+
+impl From<BrokerError> for TracingError {
+    fn from(e: BrokerError) -> Self {
+        TracingError::Broker(e)
+    }
+}
+
+impl From<WireError> for TracingError {
+    fn from(e: WireError) -> Self {
+        TracingError::Wire(e)
+    }
+}
+
+impl From<CryptoError> for TracingError {
+    fn from(e: CryptoError) -> Self {
+        TracingError::Crypto(e)
+    }
+}
+
+impl From<TdnError> for TracingError {
+    fn from(e: TdnError) -> Self {
+        TracingError::Tdn(e)
+    }
+}

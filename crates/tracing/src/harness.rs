@@ -1,0 +1,227 @@
+//! One-call deployments for tests, examples and benchmarks.
+//!
+//! A [`Deployment`] stands up the full stack the paper's experiments
+//! need: a certificate authority, a replicated TDN cluster, a broker
+//! topology over the simulated network, one tracing engine per broker,
+//! and a broker directory — then hands out traced entities and
+//! trackers attached to chosen brokers.
+
+use crate::config::{SigningMode, TracingConfig};
+use crate::engine::{EngineSetup, TracingEngine};
+use crate::entity::{EntityOptions, TracedEntity};
+use crate::tracker::{Tracker, TrackerOptions};
+use crate::Result;
+use nb_broker::discovery::{BrokerDirectory, BrokerRecord};
+use nb_broker::network::{BrokerNetwork, Medium};
+use nb_broker::BrokerConfig;
+use nb_crypto::cert::{CertificateAuthority, Credential, Validity};
+use nb_crypto::rsa::RsaPublicKey;
+use nb_tdn::TdnCluster;
+use nb_transport::clock::SharedClock;
+use nb_transport::sim::LinkConfig;
+use nb_wire::payload::DiscoveryRestrictions;
+use nb_wire::trace::TraceCategory;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Credential validity used by deployments (effectively unbounded).
+fn deployment_validity(now_ms: u64) -> Validity {
+    Validity::starting_now(now_ms.saturating_sub(60_000), u64::MAX / 4)
+}
+
+/// Broker topology shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `b0 — b1 — … — b(n-1)` (hop-count experiments, Figure 1).
+    Chain(usize),
+    /// Hub `b0` with `n` spokes (tracker-scaling experiments,
+    /// Figure 3).
+    Star(usize),
+}
+
+/// A complete running deployment.
+pub struct Deployment {
+    /// Time source shared by every component.
+    pub clock: SharedClock,
+    /// The broker topology.
+    pub network: BrokerNetwork,
+    /// One tracing engine per broker.
+    pub engines: Vec<TracingEngine>,
+    /// The replicated topic-discovery cluster.
+    pub tdns: TdnCluster,
+    /// The broker directory (secure broker discovery).
+    pub directory: BrokerDirectory,
+    ca: Mutex<CertificateAuthority>,
+    ca_key: RsaPublicKey,
+    config: TracingConfig,
+    rng: Mutex<StdRng>,
+    seed: AtomicU64,
+}
+
+impl Deployment {
+    /// Builds a deployment over simulated links with the given
+    /// behaviour.
+    pub fn new(
+        topology: Topology,
+        link: LinkConfig,
+        clock: SharedClock,
+        config: TracingConfig,
+    ) -> Result<Self> {
+        Self::over(topology, Medium::Sim(link), clock, config)
+    }
+
+    /// Builds a deployment over an explicit medium (simulated links,
+    /// real TCP, or real UDP — the paper's §6.1 transport comparison).
+    pub fn over(
+        topology: Topology,
+        medium: Medium,
+        clock: SharedClock,
+        config: TracingConfig,
+    ) -> Result<Self> {
+        let now = clock.now_ms();
+        let validity = deployment_validity(now);
+        let mut rng = StdRng::seed_from_u64(0xdeb1);
+        let mut ca = CertificateAuthority::new("deployment-ca", config.rsa_bits, validity, &mut rng)?;
+        let ca_key = ca.certificate().public_key.clone();
+
+        let tdns = TdnCluster::new(3, &mut ca, validity, clock.clone(), &mut rng)?;
+        let tdn_keys: HashMap<String, RsaPublicKey> = (0..tdns.len())
+            .map(|i| {
+                let node = tdns.node(i);
+                (node.id().to_string(), node.public_key())
+            })
+            .collect();
+
+        let broker_cfg = BrokerConfig {
+            token_skew_ms: config.token_skew_ms,
+            ..BrokerConfig::default()
+        };
+        let network = match topology {
+            Topology::Chain(n) => BrokerNetwork::chain_over(n, medium, clock.clone(), broker_cfg)?,
+            Topology::Star(leaves) => {
+                BrokerNetwork::star_over(leaves, medium, clock.clone(), broker_cfg)?
+            }
+        };
+        network.wait_for_mesh(std::time::Duration::from_secs(10));
+
+        let directory = BrokerDirectory::new();
+        let mut engines = Vec::with_capacity(network.len());
+        for (i, broker) in network.brokers.iter().enumerate() {
+            let credential = ca.issue(&format!("broker:{}", broker.id()), validity, &mut rng)?;
+            directory.register(BrokerRecord {
+                broker_id: broker.id().to_string(),
+                certificate: credential.certificate.clone(),
+                load: 0,
+            });
+            engines.push(TracingEngine::start(EngineSetup {
+                broker: broker.clone(),
+                credential,
+                ca_key: ca_key.clone(),
+                tdn_keys: tdn_keys.clone(),
+                clock: clock.clone(),
+                config: config.clone(),
+                seed: 0xe71 + i as u64,
+            }));
+        }
+
+        Ok(Deployment {
+            clock,
+            network,
+            engines,
+            tdns,
+            directory,
+            ca: Mutex::new(ca),
+            ca_key,
+            config,
+            rng: Mutex::new(rng),
+            seed: AtomicU64::new(1),
+        })
+    }
+
+    /// The CA's public key (trust anchor).
+    pub fn ca_key(&self) -> RsaPublicKey {
+        self.ca_key.clone()
+    }
+
+    /// The scheme configuration in force.
+    pub fn config(&self) -> &TracingConfig {
+        &self.config
+    }
+
+    /// Issues a credential for `subject`.
+    pub fn issue(&self, subject: &str) -> Result<Credential> {
+        let validity = deployment_validity(self.clock.now_ms());
+        let mut rng = self.rng.lock();
+        Ok(self.ca.lock().issue(subject, validity, &mut *rng)?)
+    }
+
+    /// The tracing engine at broker `idx`.
+    pub fn engine(&self, idx: usize) -> &TracingEngine {
+        &self.engines[idx]
+    }
+
+    /// Forces a scheduler pass on every engine (deterministic tests).
+    pub fn tick_all(&self) {
+        for engine in &self.engines {
+            engine.tick_now();
+        }
+    }
+
+    /// Starts a traced entity attached to broker `idx`.
+    pub fn traced_entity(
+        &self,
+        idx: usize,
+        entity_id: &str,
+        restrictions: DiscoveryRestrictions,
+        signing_mode: SigningMode,
+        secured: bool,
+    ) -> Result<TracedEntity> {
+        let credential = self.issue(&format!("entity:{entity_id}"))?;
+        let client = self.network.attach_client(idx, entity_id)?;
+        let broker_key = self.engines[idx].public_key();
+        TracedEntity::start(
+            client,
+            &self.tdns,
+            self.clock.clone(),
+            EntityOptions {
+                entity_id: entity_id.to_string(),
+                credential,
+                broker_key,
+                restrictions,
+                topic_lifetime_ms: 0,
+                signing_mode,
+                secured,
+                config: self.config.clone(),
+                seed: self.seed.fetch_add(1, Ordering::Relaxed) * 7919,
+            },
+        )
+    }
+
+    /// Starts a tracker attached to broker `idx`, tracking
+    /// `entity_id` with the given category interests.
+    pub fn tracker(
+        &self,
+        idx: usize,
+        tracker_id: &str,
+        entity_id: &str,
+        interests: Vec<TraceCategory>,
+    ) -> Result<Tracker> {
+        let credential = self.issue(&format!("tracker:{tracker_id}"))?;
+        let client = self.network.attach_client(idx, tracker_id)?;
+        Tracker::start(
+            client,
+            &self.tdns,
+            self.clock.clone(),
+            entity_id,
+            TrackerOptions {
+                tracker_id: tracker_id.to_string(),
+                credential,
+                interests,
+                config: self.config.clone(),
+            },
+        )
+    }
+}

@@ -1,0 +1,43 @@
+//! # nb-tracing — secure, authorized entity availability tracking
+//!
+//! The paper's primary contribution (§3–§5), assembled from the
+//! substrate crates:
+//!
+//! * [`entity::TracedEntity`] — the client-side runtime of a traced
+//!   entity: trace-topic creation at a TDN, signed registration with a
+//!   broker, ping responses, state/load reports, delegation-token
+//!   minting (§4.3), secret-key exchange for confidential traces
+//!   (§5.1), and the symmetric-key signing optimization (§6.3);
+//! * [`engine::TracingEngine`] — the broker-side engine: failure
+//!   detection with adaptive ping intervals, trace publication on the
+//!   per-category derivative topics of Table 2, GAUGE_INTEREST gating
+//!   (§3.5), token attachment, and trace encryption;
+//! * [`tracker::Tracker`] — the consumer runtime: authorized
+//!   discovery, selective subscription, token/signature verification,
+//!   trace decryption, and an availability view;
+//! * [`failure::FailureDetector`] — the deterministic ping/suspicion/
+//!   failure state machine;
+//! * [`harness::Deployment`] — one-call test/benchmark deployments
+//!   (CA + TDN cluster + broker topology + engines).
+
+pub mod channels;
+pub mod config;
+pub mod engine;
+pub mod entity;
+pub mod error;
+pub mod failure;
+pub mod harness;
+pub mod interest;
+pub mod tracker;
+pub mod view;
+
+pub use config::{SigningMode, TracingConfig};
+pub use engine::TracingEngine;
+pub use entity::{EntityOptions, TracedEntity};
+pub use error::TracingError;
+pub use failure::{FailureDetector, Liveness};
+pub use tracker::{Tracker, TrackerOptions};
+pub use view::{AvailabilityView, EntityStatus};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, TracingError>;

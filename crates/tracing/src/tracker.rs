@@ -1,0 +1,351 @@
+//! The tracker runtime (paper §3.4–§3.5, §4.1, §5.1).
+//!
+//! A tracker discovers the trace topic through the TDN (presenting its
+//! credentials), subscribes to exactly the trace categories it cares
+//! about, answers GAUGE_INTEREST probes, receives the sealed trace key
+//! when tracing is secured, and folds verified traces into an
+//! [`AvailabilityView`].
+
+use crate::channels;
+use crate::config::TracingConfig;
+use crate::error::TracingError;
+use crate::view::AvailabilityView;
+use crate::Result;
+use nb_broker::BrokerClient;
+use nb_crypto::cert::Credential;
+use nb_crypto::modes::{cbc_decrypt, ctr_transform, CipherMode};
+use nb_crypto::rsa::RsaPublicKey;
+use nb_crypto::Uuid;
+use nb_tdn::TdnCluster;
+use nb_transport::clock::SharedClock;
+use nb_wire::codec::Decode;
+use nb_wire::payload::{TopicAdvertisement, TraceKeyMaterial};
+use nb_wire::token::Rights;
+use nb_wire::trace::{topics, TraceCategory, TraceEvent};
+use nb_wire::{Message, Payload};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options for a tracker.
+pub struct TrackerOptions {
+    /// The tracker's identifier.
+    pub tracker_id: String,
+    /// The tracker's CA-issued credential.
+    pub credential: Credential,
+    /// Trace categories of interest ("any combination of change
+    /// notifications, all-updates, state transitions, load information
+    /// or network metrics", §3.5).
+    pub interests: Vec<TraceCategory>,
+    /// Scheme configuration (token skew).
+    pub config: TracingConfig,
+}
+
+/// Counters for tests and benchmarks.
+#[derive(Debug, Default)]
+pub struct TrackerStats {
+    /// Verified traces applied to the view.
+    pub traces_applied: AtomicU64,
+    /// Messages dropped for missing/invalid tokens.
+    pub rejected_tokens: AtomicU64,
+    /// Encrypted traces that could not be decrypted.
+    pub undecryptable: AtomicU64,
+    /// Interest responses sent.
+    pub interest_responses: AtomicU64,
+}
+
+struct TrackerInner {
+    id: String,
+    credential: Credential,
+    client: BrokerClient,
+    clock: SharedClock,
+    config: TracingConfig,
+    entity_id: String,
+    trace_topic: Uuid,
+    owner_key: RsaPublicKey,
+    interests: Vec<TraceCategory>,
+    trace_key: Mutex<Option<(Vec<u8>, CipherMode)>>,
+    view: AvailabilityView,
+    stats: TrackerStats,
+    stop: AtomicBool,
+}
+
+/// A running tracker for one traced entity.
+pub struct Tracker {
+    inner: Arc<TrackerInner>,
+}
+
+impl Tracker {
+    /// Discovers `entity_id`'s trace topic (authorized discovery,
+    /// §3.4), subscribes to the chosen categories, and starts the
+    /// consuming pump.
+    pub fn start(
+        client: BrokerClient,
+        tdns: &TdnCluster,
+        clock: SharedClock,
+        entity_id: &str,
+        opts: TrackerOptions,
+    ) -> Result<Self> {
+        let timeout = Duration::from_secs(10);
+
+        // §3.4: the discovery query carries our credentials; no
+        // response means "not authorized or no such topic".
+        let advert = discover_advertisement(tdns, entity_id, &opts.credential)?;
+        let trace_topic = advert.topic_id;
+        let owner_key = advert.owner_cert.public_key.clone();
+
+        // Subscribe to each interesting category channel plus the
+        // interest probe channel and our key-delivery channel.
+        for category in &opts.interests {
+            client.subscribe(topics::publication(&trace_topic, *category), timeout)?;
+        }
+        client.subscribe(topics::gauge_interest(&trace_topic), timeout)?;
+        client.subscribe(channels::key_delivery(&opts.tracker_id), timeout)?;
+
+        let inner = Arc::new(TrackerInner {
+            id: opts.tracker_id,
+            credential: opts.credential,
+            client,
+            clock,
+            config: opts.config,
+            entity_id: entity_id.to_string(),
+            trace_topic,
+            owner_key,
+            interests: opts.interests,
+            trace_key: Mutex::new(None),
+            view: AvailabilityView::new(),
+            stats: TrackerStats::default(),
+            stop: AtomicBool::new(false),
+        });
+        let tracker = Tracker { inner };
+
+        // Proactive interest registration: §3.5 has trackers respond
+        // to probes; announcing once at start-up as well removes one
+        // round trip before the first gated trace flows.
+        tracker.send_interest_response()?;
+        tracker.spawn_pump();
+        Ok(tracker)
+    }
+
+    /// The availability view (clone shares state; read it any time).
+    pub fn view(&self) -> AvailabilityView {
+        self.inner.view.clone()
+    }
+
+    /// The discovered trace topic.
+    pub fn trace_topic(&self) -> Uuid {
+        self.inner.trace_topic
+    }
+
+    /// The tracker identifier.
+    pub fn id(&self) -> &str {
+        &self.inner.id
+    }
+
+    /// Traces applied so far.
+    pub fn traces_applied(&self) -> u64 {
+        self.inner.stats.traces_applied.load(Ordering::Relaxed)
+    }
+
+    /// Token-rejected message count.
+    pub fn rejected_tokens(&self) -> u64 {
+        self.inner.stats.rejected_tokens.load(Ordering::Relaxed)
+    }
+
+    /// Interest responses sent.
+    pub fn interest_responses(&self) -> u64 {
+        self.inner.stats.interest_responses.load(Ordering::Relaxed)
+    }
+
+    /// Whether the sealed trace key has arrived (secured tracing).
+    pub fn has_trace_key(&self) -> bool {
+        self.inner.trace_key.lock().is_some()
+    }
+
+    /// Stops the pump.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Convenience: blocks until the tracked entity reaches `want`
+    /// (polling the view), or the timeout elapses.
+    pub fn wait_for_status(
+        &self,
+        want: crate::view::EntityStatus,
+        timeout: Duration,
+    ) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.inner.view.status(&self.inner.entity_id) == Some(want) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    fn send_interest_response(&self) -> Result<()> {
+        send_interest_response(&self.inner)
+    }
+
+    fn spawn_pump(&self) {
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("tracker-{}-pump", inner.id))
+            .spawn(move || loop {
+                if inner.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                let msg = match inner.client.next_message(Duration::from_millis(50)) {
+                    Ok(m) => m,
+                    Err(nb_broker::BrokerError::Timeout) => continue,
+                    Err(nb_broker::BrokerError::Transport(
+                        nb_transport::TransportError::Timeout,
+                    )) => continue,
+                    Err(_) => return,
+                };
+                handle_message(&inner, msg);
+            })
+            .expect("spawn tracker pump");
+    }
+}
+
+fn discover_advertisement(
+    tdns: &TdnCluster,
+    entity_id: &str,
+    credential: &Credential,
+) -> Result<TopicAdvertisement> {
+    let adverts = tdns.discover(
+        &topics::discovery_query(entity_id),
+        &credential.certificate,
+    );
+    // Verify TDN provenance; prefer the newest advertisement (a
+    // compromised topic may have been replaced, §5.2).
+    let mut best: Option<TopicAdvertisement> = None;
+    for advert in adverts {
+        let Some(key) = tdns.tdn_key(&advert.tdn_id) else {
+            continue;
+        };
+        if advert.verify(&key).is_err() {
+            continue;
+        }
+        match &best {
+            Some(b) if b.created_ms >= advert.created_ms => {}
+            _ => best = Some(advert),
+        }
+    }
+    best.ok_or_else(|| TracingError::TopicNotFound(entity_id.to_string()))
+}
+
+/// §4.1/§5.2: only accept broker publications carrying a token signed
+/// by the topic owner.
+fn token_valid(inner: &TrackerInner, msg: &Message) -> bool {
+    let Some(token) = &msg.token else {
+        return false;
+    };
+    token
+        .verify(
+            &inner.owner_key,
+            Rights::Publish,
+            inner.clock.now_ms(),
+            inner.config.token_skew_ms,
+        )
+        .is_ok()
+}
+
+fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
+    match &msg.payload {
+        Payload::GaugeInterestRequest { .. } => {
+            // §5.1: "Interested trackers, after confirming the validity
+            // of the security token, then respond…"
+            if !token_valid(inner, &msg) {
+                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let _ = send_interest_response(inner);
+        }
+        Payload::TraceKeyDelivery { sealed } => {
+            if !token_valid(inner, &msg) {
+                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if let Ok(bytes) = sealed.open(&inner.credential.private_key) {
+                if let Ok(material) = TraceKeyMaterial::from_bytes(&bytes) {
+                    if let Ok(mode) = material.mode() {
+                        *inner.trace_key.lock() = Some((material.key, mode));
+                    }
+                }
+            }
+        }
+        Payload::Trace { event } => {
+            if !token_valid(inner, &msg) {
+                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            apply_event(inner, event.clone());
+        }
+        Payload::EncryptedTrace { iv, ciphertext } => {
+            if !token_valid(inner, &msg) {
+                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let key = inner.trace_key.lock().clone();
+            let Some((key, mode)) = key else {
+                inner.stats.undecryptable.fetch_add(1, Ordering::Relaxed);
+                return;
+            };
+            let decrypted = match mode {
+                CipherMode::Cbc => cbc_decrypt(&key, iv, ciphertext),
+                CipherMode::Ctr => ctr_transform(&key, iv, ciphertext),
+            };
+            match decrypted
+                .ok()
+                .and_then(|pt| TraceEvent::from_bytes(&pt).ok())
+            {
+                Some(event) => apply_event(inner, event),
+                None => {
+                    inner.stats.undecryptable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn apply_event(inner: &TrackerInner, event: TraceEvent) {
+    // Cross-check the event is about the entity we track.
+    if event.trace_topic != inner.trace_topic || event.entity_id != inner.entity_id {
+        return;
+    }
+    inner.view.apply(&event);
+    inner.stats.traces_applied.fetch_add(1, Ordering::Relaxed);
+}
+
+fn send_interest_response(inner: &Arc<TrackerInner>) -> Result<()> {
+    let mut msg = inner.client.make_message(
+        topics::interest_response(&inner.trace_topic),
+        Payload::InterestResponse {
+            credentials: inner.credential.certificate.clone(),
+            interests: inner.interests.clone(),
+            reply_topic: channels::key_delivery(&inner.id),
+        },
+    );
+    msg.sign(&inner.credential)?;
+    inner.client.send_message(&msg)?;
+    inner
+        .stats
+        .interest_responses
+        .fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+impl std::fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Tracker({} → {})",
+            self.inner.id, self.inner.entity_id
+        )
+    }
+}

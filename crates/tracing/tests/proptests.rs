@@ -1,0 +1,183 @@
+//! Property-based tests on the tracing layer's pure state machines.
+
+use nb_crypto::Uuid;
+use nb_tracing::config::TracingConfig;
+use nb_tracing::failure::{DetectorEvent, FailureDetector, Liveness};
+use nb_tracing::view::{AvailabilityView, EntityStatus};
+use nb_wire::trace::{EntityState, TraceEvent, TraceKind};
+use proptest::prelude::*;
+
+fn config() -> TracingConfig {
+    TracingConfig::for_tests()
+}
+
+/// A random driver action against the failure detector.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Advance virtual time by this many ms and tick.
+    Tick(u64),
+    /// Send a ping if one is due.
+    PingIfDue,
+    /// Answer the ping with this sequence offset into outstanding.
+    AnswerLatest,
+}
+
+fn arb_actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..400).prop_map(Action::Tick),
+            Just(Action::PingIfDue),
+            Just(Action::AnswerLatest),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Liveness transitions are well-formed under ANY schedule:
+    /// Suspect only from Alive, Fail only from Suspected, Recover only
+    /// on a response, and the detector never panics.
+    #[test]
+    fn detector_state_machine_is_well_formed(actions in arb_actions()) {
+        let mut d = FailureDetector::new(&config());
+        let mut now = 0u64;
+        let mut last_seq = None;
+        for action in actions {
+            let before = d.liveness();
+            match action {
+                Action::Tick(ms) => {
+                    now += ms;
+                    match d.on_tick(now) {
+                        Some(DetectorEvent::Suspect) => {
+                            prop_assert_eq!(before, Liveness::Alive);
+                            prop_assert_eq!(d.liveness(), Liveness::Suspected);
+                        }
+                        Some(DetectorEvent::Fail) => {
+                            prop_assert_eq!(before, Liveness::Suspected);
+                            prop_assert_eq!(d.liveness(), Liveness::Failed);
+                        }
+                        Some(DetectorEvent::Recover) => {
+                            prop_assert!(false, "tick cannot recover");
+                        }
+                        None => {}
+                    }
+                }
+                Action::PingIfDue => {
+                    if d.ping_due(now) {
+                        last_seq = Some(d.on_ping_sent(now));
+                    }
+                }
+                Action::AnswerLatest => {
+                    if let Some(seq) = last_seq.take() {
+                        now += 1;
+                        match d.on_response(seq, now) {
+                            Some(DetectorEvent::Recover) => {
+                                prop_assert_ne!(before, Liveness::Alive);
+                                prop_assert_eq!(d.liveness(), Liveness::Alive);
+                            }
+                            Some(_) => prop_assert!(false, "response can only recover"),
+                            // None: either the ping was already expired
+                            // (unknown seq — state unchanged) or the
+                            // entity was Alive all along.
+                            None => prop_assert_eq!(d.liveness(), before),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The adaptive interval never exceeds the base interval and never
+    /// drops below the configured floor.
+    #[test]
+    fn adaptive_interval_stays_in_bounds(actions in arb_actions()) {
+        let cfg = config();
+        let base = cfg.ping_interval.as_millis() as u64;
+        let floor = cfg.min_ping_interval.as_millis() as u64;
+        let mut d = FailureDetector::new(&cfg);
+        let mut now = 0u64;
+        for action in actions {
+            match action {
+                Action::Tick(ms) => {
+                    now += ms;
+                    let _ = d.on_tick(now);
+                }
+                Action::PingIfDue => {
+                    if d.ping_due(now) {
+                        d.on_ping_sent(now);
+                    }
+                }
+                Action::AnswerLatest => {}
+            }
+            let interval = d.current_interval_ms();
+            prop_assert!(interval <= base, "interval {interval} > base {base}");
+            prop_assert!(interval >= floor, "interval {interval} < floor {floor}");
+        }
+    }
+
+    /// An entity that answers every ping promptly is never suspected,
+    /// regardless of the ping schedule.
+    #[test]
+    fn responsive_entity_never_suspected(gaps in proptest::collection::vec(1u64..2_000, 1..80)) {
+        let mut d = FailureDetector::new(&config());
+        let mut now = 0u64;
+        for gap in gaps {
+            now += gap;
+            prop_assert!(d.on_tick(now).is_none());
+            if d.ping_due(now) {
+                let seq = d.on_ping_sent(now);
+                // Answer instantly — before any timeout can expire.
+                prop_assert!(d.on_response(seq, now + 1).is_none());
+            }
+            prop_assert_eq!(d.liveness(), Liveness::Alive);
+        }
+    }
+
+    /// The availability view applies any stream of events without
+    /// panicking, ends in a status consistent with the
+    /// highest-sequence event, and never counts stale events.
+    #[test]
+    fn view_is_consistent_under_event_storms(
+        seqs in proptest::collection::vec((1u64..100, 0u8..7), 1..100)
+    ) {
+        let view = AvailabilityView::new();
+        let mut max_seq_applied = 0u64;
+        let mut applied = 0u64;
+        for (seq, kind_idx) in seqs {
+            let kind = match kind_idx {
+                0 => TraceKind::Join,
+                1 => TraceKind::AllsWell,
+                2 => TraceKind::FailureSuspicion,
+                3 => TraceKind::Failed,
+                4 => TraceKind::Disconnect,
+                5 => TraceKind::RevertingToSilentMode,
+                _ => TraceKind::StateTransition { from: None, to: EntityState::Ready },
+            };
+            let stale = seq < max_seq_applied;
+            view.apply(&TraceEvent {
+                entity_id: "e".to_string(),
+                trace_topic: Uuid::nil(),
+                seq,
+                timestamp_ms: 1000 + seq,
+                kind,
+            });
+            if !stale {
+                max_seq_applied = max_seq_applied.max(seq);
+                applied += 1;
+            }
+        }
+        prop_assert_eq!(view.total_traces(), applied);
+        prop_assert!(view.status("e").is_some());
+        // Status is one of the defined verdicts (no corruption).
+        let status = view.status("e").unwrap();
+        prop_assert!(matches!(
+            status,
+            EntityStatus::Available
+                | EntityStatus::Suspected
+                | EntityStatus::Failed
+                | EntityStatus::Offline
+        ));
+    }
+}

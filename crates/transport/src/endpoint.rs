@@ -1,0 +1,79 @@
+//! The uniform link-half abstraction shared by all transports.
+
+use crate::error::TransportError;
+use crate::Result;
+use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Maximum frame size accepted by any transport (4 MiB).
+pub const MAX_FRAME_LEN: usize = 4 * 1024 * 1024;
+
+/// Transport-specific frame transmitter.
+pub trait FrameSender: Send + Sync {
+    /// Sends one frame; must be atomic with respect to other senders.
+    fn send_frame(&self, frame: &[u8]) -> Result<()>;
+}
+
+/// One half of a bidirectional, framed link.
+///
+/// `Endpoint` is identical across the simulated, TCP and UDP
+/// transports — this is the "transport independence" the paper calls
+/// out: brokers and entities exchange frames through this interface
+/// and never see sockets.
+pub struct Endpoint {
+    tx: Arc<dyn FrameSender>,
+    rx: Receiver<Vec<u8>>,
+}
+
+impl Endpoint {
+    /// Assembles an endpoint from its halves (used by transport
+    /// implementations).
+    pub fn from_parts(tx: Arc<dyn FrameSender>, rx: Receiver<Vec<u8>>) -> Self {
+        Endpoint { tx, rx }
+    }
+
+    /// Sends one frame.
+    pub fn send(&self, frame: &[u8]) -> Result<()> {
+        if frame.len() > MAX_FRAME_LEN {
+            return Err(TransportError::FrameTooLarge {
+                size: frame.len(),
+                max: MAX_FRAME_LEN,
+            });
+        }
+        self.tx.send_frame(frame)
+    }
+
+    /// Blocks until a frame arrives or the link closes.
+    pub fn recv(&self) -> Result<Vec<u8>> {
+        self.rx.recv().map_err(|_| TransportError::Closed)
+    }
+
+    /// Blocks up to `timeout` for a frame.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => TransportError::Timeout,
+            RecvTimeoutError::Disconnected => TransportError::Closed,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<Option<Vec<u8>>> {
+        match self.rx.try_recv() {
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    /// A cloneable sender handle (for multi-writer use).
+    pub fn sender(&self) -> Arc<dyn FrameSender> {
+        Arc::clone(&self.tx)
+    }
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Endpoint(queued={})", self.rx.len())
+    }
+}

@@ -1,0 +1,201 @@
+//! TCP transport: length-prefixed frames over `std::net::TcpStream`.
+//!
+//! One of the two real transports benchmarked in §6.1. Each accepted
+//! or connected stream becomes an [`Endpoint`]: a reader thread
+//! deframes incoming bytes into the endpoint's channel, and sends are
+//! serialized through a mutex-guarded writer.
+
+use crate::endpoint::{Endpoint, FrameSender, MAX_FRAME_LEN};
+use crate::error::TransportError;
+use crate::Result;
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+struct TcpFrameSender {
+    stream: Mutex<TcpStream>,
+}
+
+impl Drop for TcpFrameSender {
+    fn drop(&mut self) {
+        // Shut the socket down so the peer's reader thread observes
+        // EOF promptly; otherwise the reader's stream clone keeps the
+        // connection half-open until the process exits.
+        let _ = self.stream.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+impl FrameSender for TcpFrameSender {
+    fn send_frame(&self, frame: &[u8]) -> Result<()> {
+        let mut stream = self.stream.lock();
+        // Single buffered write: length prefix + body.
+        let mut buf = Vec::with_capacity(4 + frame.len());
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(frame);
+        stream.write_all(&buf)?;
+        Ok(())
+    }
+}
+
+/// Wraps an established TCP stream into an [`Endpoint`], spawning its
+/// reader thread. `TCP_NODELAY` is set: the workload is small framed
+/// messages where Nagle batching only adds latency.
+pub fn endpoint_from_stream(stream: TcpStream) -> Result<Endpoint> {
+    stream.set_nodelay(true)?;
+    let reader_stream = stream.try_clone()?;
+    let (tx, rx) = unbounded();
+    std::thread::Builder::new()
+        .name("tcp-reader".to_string())
+        .spawn(move || {
+            let mut stream = reader_stream;
+            let mut len_buf = [0u8; 4];
+            loop {
+                if stream.read_exact(&mut len_buf).is_err() {
+                    return; // peer closed; drop tx → endpoint sees Closed
+                }
+                let len = u32::from_be_bytes(len_buf) as usize;
+                if len > MAX_FRAME_LEN {
+                    return;
+                }
+                let mut frame = vec![0u8; len];
+                if stream.read_exact(&mut frame).is_err() {
+                    return;
+                }
+                if tx.send(frame).is_err() {
+                    return; // endpoint dropped
+                }
+            }
+        })
+        .map_err(TransportError::Io)?;
+    Ok(Endpoint::from_parts(
+        Arc::new(TcpFrameSender {
+            stream: Mutex::new(stream),
+        }),
+        rx,
+    ))
+}
+
+/// A listening TCP transport endpoint factory.
+pub struct TcpTransportListener {
+    listener: TcpListener,
+}
+
+impl TcpTransportListener {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: &str) -> Result<Self> {
+        Ok(TcpTransportListener {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Blocks until a peer connects; returns its endpoint.
+    pub fn accept(&self) -> Result<Endpoint> {
+        let (stream, _) = self.listener.accept()?;
+        endpoint_from_stream(stream)
+    }
+}
+
+/// Connects to a listening peer.
+pub fn connect(addr: SocketAddr) -> Result<Endpoint> {
+    endpoint_from_stream(TcpStream::connect(addr)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn pair() -> (Endpoint, Endpoint) {
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client_thread = std::thread::spawn(move || connect(addr).unwrap());
+        let server = listener.accept().unwrap();
+        let client = client_thread.join().unwrap();
+        (server, client)
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let (server, client) = pair();
+        client.send(b"hello broker").unwrap();
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(2)).unwrap(),
+            b"hello broker"
+        );
+        server.send(b"hello entity").unwrap();
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(2)).unwrap(),
+            b"hello entity"
+        );
+    }
+
+    #[test]
+    fn framing_preserves_boundaries() {
+        let (server, client) = pair();
+        for i in 0..50u32 {
+            client.send(&vec![i as u8; (i as usize % 7) + 1]).unwrap();
+        }
+        for i in 0..50u32 {
+            let frame = server.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(frame, vec![i as u8; (i as usize % 7) + 1]);
+        }
+    }
+
+    #[test]
+    fn empty_frames_are_legal() {
+        let (server, client) = pair();
+        client.send(b"").unwrap();
+        assert_eq!(server.recv_timeout(Duration::from_secs(2)).unwrap(), b"");
+    }
+
+    #[test]
+    fn large_frames_round_trip() {
+        let (server, client) = pair();
+        let big = vec![0xa7u8; 1 << 20]; // 1 MiB
+        client.send(&big).unwrap();
+        assert_eq!(server.recv_timeout(Duration::from_secs(5)).unwrap(), big);
+    }
+
+    #[test]
+    fn peer_close_is_visible() {
+        let (server, client) = pair();
+        drop(client);
+        assert_eq!(
+            server.recv_timeout(Duration::from_secs(2)),
+            Err(TransportError::Closed)
+        );
+    }
+
+    #[test]
+    fn concurrent_senders_do_not_interleave() {
+        let (server, client) = pair();
+        let sender = client.sender();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let tx = Arc::clone(&sender);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let frame = vec![t as u8; 100 + i % 10];
+                        tx.send_frame(&frame).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // Every frame must be homogeneous — interleaving would mix bytes.
+        for _ in 0..200 {
+            let frame = server.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert!(frame.iter().all(|&b| b == frame[0]));
+            assert!((100..110).contains(&frame.len()));
+        }
+    }
+}

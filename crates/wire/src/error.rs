@@ -1,0 +1,60 @@
+//! Wire-level error type.
+
+use nb_crypto::CryptoError;
+use std::fmt;
+
+/// Errors raised while parsing topics or encoding/decoding messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A topic string violated the grammar.
+    InvalidTopic(String),
+    /// The buffer ended before the structure was complete.
+    Truncated(&'static str),
+    /// An enum tag byte had no corresponding variant.
+    UnknownTag {
+        /// Which enum was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8(&'static str),
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow(&'static str),
+    /// Unsupported codec version byte.
+    BadVersion(u8),
+    /// Trailing bytes after a complete structure.
+    TrailingBytes(&'static str),
+    /// An embedded cryptographic structure failed to parse or verify.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::InvalidTopic(t) => write!(f, "invalid topic: {t}"),
+            WireError::Truncated(what) => write!(f, "truncated {what}"),
+            WireError::UnknownTag { what, tag } => write!(f, "unknown tag {tag} for {what}"),
+            WireError::BadUtf8(what) => write!(f, "invalid UTF-8 in {what}"),
+            WireError::LengthOverflow(what) => write!(f, "length overflow in {what}"),
+            WireError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            WireError::TrailingBytes(what) => write!(f, "trailing bytes after {what}"),
+            WireError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for WireError {
+    fn from(e: CryptoError) -> Self {
+        WireError::Crypto(e)
+    }
+}

@@ -1,0 +1,36 @@
+//! # nb-wire — topics, messages, and the binary codec
+//!
+//! Everything that crosses a link between entities, brokers, and
+//! Topic Discovery Nodes is defined here:
+//!
+//! * the topic model ([`topic::Topic`]) and the paper's
+//!   **constrained-topic grammar** with its defaulting rules
+//!   ([`constrained`]),
+//! * the trace taxonomy of Table 1 and its topic mapping of Table 2
+//!   ([`trace`]),
+//! * protocol payloads for topic creation/discovery, registration,
+//!   pings, gauge-interest and key distribution ([`payload`]),
+//! * authorization tokens (§4.3) ([`token`]),
+//! * the message envelope with optional signature and token
+//!   ([`message`]), and
+//! * a hand-rolled, versioned binary codec ([`codec`]).
+
+pub mod codec;
+pub mod constrained;
+pub mod error;
+pub mod message;
+pub mod payload;
+pub mod token;
+pub mod topic;
+pub mod trace;
+
+pub use constrained::{AllowedActions, ConstrainedTopic, Constrainer, Distribution, EventType};
+pub use error::WireError;
+pub use message::Message;
+pub use payload::Payload;
+pub use token::{AuthorizationToken, Rights};
+pub use topic::Topic;
+pub use trace::{EntityState, LoadInformation, NetworkMetrics, TraceEvent, TraceKind};
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, WireError>;

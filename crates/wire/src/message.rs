@@ -1,0 +1,284 @@
+//! The message envelope.
+//!
+//! Every unit routed by the broker network is a [`Message`]: a topic,
+//! a payload, and optional authentication material — an RSA signature
+//! (proof of credential possession, §4.2), an authorization token
+//! (broker delegation, §4.3), or an HMAC under a shared session key
+//! (the §6.3 signing-cost optimization).
+
+use crate::codec::{Decode, Encode, Reader, Writer};
+use crate::error::WireError;
+use crate::payload::Payload;
+use crate::token::AuthorizationToken;
+use crate::topic::Topic;
+use crate::Result;
+use nb_crypto::cert::Credential;
+use nb_crypto::digest::DigestAlgorithm;
+use nb_crypto::hmac::{hmac, verify_mac};
+use nb_crypto::rsa::RsaPublicKey;
+use nb_crypto::sha256::Sha256;
+
+/// Codec version byte leading every encoded message.
+pub const WIRE_VERSION: u8 = 1;
+
+/// A routable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Unique (per sender) message id.
+    pub id: u64,
+    /// Correlates responses to requests (0 = none).
+    pub correlation_id: u64,
+    /// Routing topic.
+    pub topic: Topic,
+    /// Sender identifier (entity id, broker id, tracker id).
+    pub sender: String,
+    /// Send timestamp, ms since epoch.
+    pub timestamp_ms: u64,
+    /// The body.
+    pub payload: Payload,
+    /// RSA/SHA-1 signature over [`Message::signable_bytes`].
+    pub signature: Option<Vec<u8>>,
+    /// Authorization token (required on broker-published traces).
+    pub token: Option<AuthorizationToken>,
+    /// HMAC-SHA256 under a shared session key (§6.3 optimization;
+    /// replaces `signature` on the entity→broker path).
+    pub mac: Option<Vec<u8>>,
+}
+
+impl Message {
+    /// Creates an unauthenticated message.
+    pub fn new(id: u64, topic: Topic, sender: impl Into<String>, timestamp_ms: u64, payload: Payload) -> Self {
+        Message {
+            id,
+            correlation_id: 0,
+            topic,
+            sender: sender.into(),
+            timestamp_ms,
+            payload,
+            signature: None,
+            token: None,
+            mac: None,
+        }
+    }
+
+    /// Sets the correlation id (builder style).
+    pub fn correlated(mut self, correlation_id: u64) -> Self {
+        self.correlation_id = correlation_id;
+        self
+    }
+
+    /// The bytes covered by signatures and MACs: everything except the
+    /// authentication fields themselves.
+    pub fn signable_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.id);
+        w.put_u64(self.correlation_id);
+        self.topic.encode(&mut w);
+        w.put_str(&self.sender);
+        w.put_u64(self.timestamp_ms);
+        self.payload.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Signs the message with `credential` (SHA-1 + PKCS#1, the
+    /// paper's configuration), replacing any existing signature.
+    pub fn sign(&mut self, credential: &Credential) -> Result<()> {
+        self.signature = Some(credential.sign(&self.signable_bytes())?);
+        Ok(())
+    }
+
+    /// Verifies the signature against `key`.
+    ///
+    /// This is the broker's §3.2 check: decrypt the signature with the
+    /// sender's public key and compare digests (proof of possession +
+    /// tamper evidence).
+    pub fn verify_signature(&self, key: &RsaPublicKey) -> Result<()> {
+        let sig = self
+            .signature
+            .as_ref()
+            .ok_or(WireError::Truncated("missing signature"))?;
+        key.verify(DigestAlgorithm::Sha1, &self.signable_bytes(), sig)
+            .map_err(WireError::Crypto)
+    }
+
+    /// Authenticates with an HMAC under `session_key` instead of an
+    /// RSA signature (§6.3: "encryption/decryption costs are cheaper
+    /// than the corresponding signing/verification cost").
+    pub fn mac_with(&mut self, session_key: &[u8]) {
+        self.mac = Some(hmac::<Sha256>(session_key, &self.signable_bytes()));
+    }
+
+    /// Verifies the HMAC under `session_key`.
+    pub fn verify_mac(&self, session_key: &[u8]) -> Result<()> {
+        let mac = self
+            .mac
+            .as_ref()
+            .ok_or(WireError::Truncated("missing mac"))?;
+        if verify_mac(mac, &hmac::<Sha256>(session_key, &self.signable_bytes())) {
+            Ok(())
+        } else {
+            Err(WireError::Crypto(nb_crypto::CryptoError::SignatureMismatch))
+        }
+    }
+
+    /// Attaches an authorization token (builder style).
+    pub fn with_token(mut self, token: AuthorizationToken) -> Self {
+        self.token = Some(token);
+        self
+    }
+}
+
+impl Encode for Message {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(WIRE_VERSION);
+        w.put_u64(self.id);
+        w.put_u64(self.correlation_id);
+        self.topic.encode(w);
+        w.put_str(&self.sender);
+        w.put_u64(self.timestamp_ms);
+        self.payload.encode(w);
+        w.put_option(&self.signature, |w, s| w.put_bytes(s));
+        w.put_option(&self.token, |w, t| t.encode(w));
+        w.put_option(&self.mac, |w, m| w.put_bytes(m));
+    }
+}
+
+impl Decode for Message {
+    fn decode(r: &mut Reader<'_>) -> Result<Self> {
+        let version = r.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        Ok(Message {
+            id: r.get_u64()?,
+            correlation_id: r.get_u64()?,
+            topic: Topic::decode(r)?,
+            sender: r.get_str()?,
+            timestamp_ms: r.get_u64()?,
+            payload: Payload::decode(r)?,
+            signature: r.get_option(|r| r.get_bytes())?,
+            token: r.get_option(AuthorizationToken::decode)?,
+            mac: r.get_option(|r| r.get_bytes())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nb_crypto::cert::{CertificateAuthority, Validity};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    const NOW: u64 = 1_700_000_000_000;
+
+    fn credential() -> &'static Credential {
+        static CRED: OnceLock<Credential> = OnceLock::new();
+        CRED.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut ca = CertificateAuthority::new(
+                "ca",
+                512,
+                Validity::starting_now(NOW, 1 << 40),
+                &mut rng,
+            )
+            .unwrap();
+            ca.issue("entity:msg-test", Validity::starting_now(NOW, 1 << 40), &mut rng)
+                .unwrap()
+        })
+    }
+
+    fn sample() -> Message {
+        Message::new(
+            7,
+            Topic::parse("/Constrained/Traces/Broker/Subscribe-Only/Registration").unwrap(),
+            "entity:msg-test",
+            NOW,
+            Payload::Ping {
+                seq: 1,
+                sent_at_ms: NOW,
+            },
+        )
+    }
+
+    #[test]
+    fn codec_round_trip_plain() {
+        let m = sample();
+        assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn codec_round_trip_with_auth_material() {
+        let mut m = sample().correlated(42);
+        m.sign(credential()).unwrap();
+        m.mac_with(b"session-key");
+        let back = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.correlation_id, 42);
+    }
+
+    #[test]
+    fn version_byte_enforced() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 99;
+        assert_eq!(Message::from_bytes(&bytes), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn signature_verifies_and_detects_tampering() {
+        let cred = credential();
+        let mut m = sample();
+        m.sign(cred).unwrap();
+        m.verify_signature(&cred.certificate.public_key).unwrap();
+
+        let mut tampered = m.clone();
+        tampered.sender = "entity:mallory".to_string();
+        assert!(tampered
+            .verify_signature(&cred.certificate.public_key)
+            .is_err());
+
+        let mut payload_swap = m.clone();
+        payload_swap.payload = Payload::Ping {
+            seq: 2,
+            sent_at_ms: NOW,
+        };
+        assert!(payload_swap
+            .verify_signature(&cred.certificate.public_key)
+            .is_err());
+    }
+
+    #[test]
+    fn missing_signature_is_an_error() {
+        let m = sample();
+        assert!(m
+            .verify_signature(&credential().certificate.public_key)
+            .is_err());
+    }
+
+    #[test]
+    fn mac_authentication_round_trip() {
+        let key = b"shared-session-key-0123456789ab";
+        let mut m = sample();
+        m.mac_with(key);
+        m.verify_mac(key).unwrap();
+        assert!(m.verify_mac(b"wrong-key").is_err());
+
+        let mut tampered = m.clone();
+        tampered.timestamp_ms += 1;
+        assert!(tampered.verify_mac(key).is_err());
+    }
+
+    #[test]
+    fn signature_does_not_cover_auth_fields() {
+        // Attaching a token after signing must not invalidate the
+        // signature (tokens are carried alongside, per §4.3).
+        let cred = credential();
+        let mut m = sample();
+        m.sign(cred).unwrap();
+        let sig_before = m.signature.clone();
+        m.mac_with(b"k");
+        assert_eq!(m.signature, sig_before);
+        m.verify_signature(&cred.certificate.public_key).unwrap();
+    }
+}

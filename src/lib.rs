@@ -1,0 +1,80 @@
+//! # entity-tracing
+//!
+//! A from-scratch Rust reproduction of *"A Scalable Approach for the
+//! Secure and Authorized Tracking of the Availability of Entities in
+//! Distributed Systems"* (Pallickara, Ekanayake & Fox, IPPS 2007),
+//! including every substrate the scheme depends on: a
+//! NaradaBrokering-style publish/subscribe broker network, Topic
+//! Discovery Nodes, transport abstraction (simulated / TCP / UDP) and
+//! a complete cryptography stack (RSA, SHA-1/SHA-256, HMAC, AES,
+//! certificates).
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use entity_tracing::prelude::*;
+//! use std::time::Duration;
+//!
+//! // A 2-broker deployment over simulated ~1.5 ms links.
+//! let deployment = Deployment::new(
+//!     Topology::Chain(2),
+//!     LinkConfig::default(),
+//!     system_clock(),
+//!     TracingConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! // An entity asks to be traced…
+//! let entity = deployment
+//!     .traced_entity(
+//!         0,
+//!         "web-service",
+//!         DiscoveryRestrictions::Open,
+//!         SigningMode::RsaSign,
+//!         false,
+//!     )
+//!     .unwrap();
+//!
+//! // …and a tracker on the other broker watches it.
+//! let tracker = deployment
+//!     .tracker(
+//!         1,
+//!         "ops-console",
+//!         "web-service",
+//!         vec![TraceCategory::ChangeNotifications, TraceCategory::AllUpdates],
+//!     )
+//!     .unwrap();
+//!
+//! std::thread::sleep(Duration::from_millis(500));
+//! println!("status: {:?}", tracker.view().status("web-service"));
+//! # let _ = entity;
+//! ```
+//!
+//! See the crate-level documentation of the member crates for each
+//! subsystem: [`nb_crypto`], [`nb_wire`], [`nb_transport`],
+//! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`].
+
+pub use nb_baseline as baseline;
+pub use nb_broker as broker;
+pub use nb_crypto as crypto;
+pub use nb_tdn as tdn;
+pub use nb_tracing as tracing;
+pub use nb_transport as transport;
+pub use nb_wire as wire;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use nb_broker::{Broker, BrokerClient, BrokerConfig};
+    pub use nb_crypto::cert::{CertificateAuthority, Credential, Validity};
+    pub use nb_crypto::Uuid;
+    pub use nb_tdn::TdnCluster;
+    pub use nb_tracing::config::{SigningMode, TracingConfig};
+    pub use nb_tracing::harness::{Deployment, Topology};
+    pub use nb_tracing::view::{AvailabilityView, EntityStatus};
+    pub use nb_tracing::{TracedEntity, Tracker, TracingEngine};
+    pub use nb_transport::clock::{system_clock, Clock, MockClock, SystemClock};
+    pub use nb_transport::sim::{LinkConfig, SimNetwork};
+    pub use nb_wire::payload::DiscoveryRestrictions;
+    pub use nb_wire::trace::{EntityState, LoadInformation, TraceCategory};
+    pub use nb_wire::{Message, Payload, Topic};
+}
