@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a change must pass before merging.
+#
+#   ./ci.sh            # build + test + clippy + strict docs
+#   ./ci.sh --quick    # build + test only
+#
+# The workspace denies missing_docs ([workspace.lints.rust] in
+# Cargo.toml), so the ordinary builds below already enforce
+# documentation on every public item; the doc step additionally fails
+# on broken intra-doc links and other rustdoc warnings.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=false
+[[ "${1:-}" == "--quick" ]] && quick=true
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test --workspace --quiet
+
+if ! $quick; then
+    if cargo clippy --version >/dev/null 2>&1; then
+        echo "== clippy =="
+        cargo clippy --workspace --all-targets -- -D warnings
+    else
+        echo "== clippy not installed; skipping =="
+    fi
+
+    echo "== docs (strict) =="
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+fi
+
+echo "CI OK"

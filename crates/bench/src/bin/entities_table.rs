@@ -109,4 +109,8 @@ fn main() {
             None => println!("{entities} entities: MEASUREMENT FAILED"),
         }
     }
+    nb_bench::print_metrics_epilogue(
+        "process-wide totals across all points",
+        &nb_metrics::global().snapshot(),
+    );
 }

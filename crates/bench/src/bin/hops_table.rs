@@ -90,4 +90,10 @@ fn main() {
         }
     }
     println!("\nFigure 2 series = the four (transport, mode) curves above.");
+    // Deployments are torn down per point; the process-wide registry
+    // keeps the crypto/token/transport totals for the whole run.
+    nb_bench::print_metrics_epilogue(
+        "process-wide totals across all points",
+        &nb_metrics::global().snapshot(),
+    );
 }

@@ -85,4 +85,9 @@ fn main() {
         let stats = Stats::from_samples(&latencies);
         print_row(&format!("{} trackers", fleet.len()), &stats);
     }
+
+    // One long-lived deployment ⇒ the merged snapshot includes every
+    // broker's and engine's view of the sweep, plus process-wide
+    // crypto/token/transport totals.
+    nb_bench::print_metrics_epilogue("full deployment", &dep.metrics_snapshot());
 }

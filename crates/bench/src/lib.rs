@@ -164,6 +164,23 @@ pub fn measure_trace_latencies(
     out
 }
 
+/// Prints a metrics epilogue for a finished experiment: the given
+/// snapshot rendered as an aligned table under a titled separator.
+///
+/// Benches that tear deployments down per measurement point pass the
+/// process-wide [`nb_metrics::global`] snapshot (crypto, token and
+/// transport aggregates survive the deployments); benches holding one
+/// long-lived [`Deployment`] pass `dep.metrics_snapshot()` for the
+/// per-broker view as well.
+pub fn print_metrics_epilogue(title: &str, snapshot: &nb_metrics::Snapshot) {
+    println!("\n== metrics: {title} ==");
+    if snapshot.is_empty() {
+        println!("(no metrics recorded)");
+    } else {
+        println!("{}", snapshot.to_table());
+    }
+}
+
 /// Waits (spinning) until `tracker` has a trace key, returning the
 /// elapsed time — the per-tracker component of the paper's "key
 /// distribution overhead".

@@ -32,7 +32,7 @@ pub mod subscription;
 
 pub use client::BrokerClient;
 pub use error::BrokerError;
-pub use node::{Broker, BrokerConfig, BrokerStats};
+pub use node::{Broker, BrokerConfig};
 pub use subscription::SubscriptionTable;
 
 /// Convenience result alias.

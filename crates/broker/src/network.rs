@@ -50,6 +50,9 @@ impl Medium {
 pub struct BrokerNetwork {
     /// The broker nodes, in construction order.
     pub brokers: Vec<Broker>,
+    /// Neighbour count each broker reaches once the mesh is up
+    /// (mirrors the links laid down by the topology builder).
+    expected_degree: Vec<usize>,
     net: SimNetwork,
     clock: SharedClock,
     medium: Medium,
@@ -79,13 +82,17 @@ impl BrokerNetwork {
         let brokers: Vec<Broker> = (0..n)
             .map(|i| Broker::new(format!("broker-{i}"), clock.clone(), broker_cfg.clone()))
             .collect();
+        let mut expected_degree = vec![0usize; n];
         for i in 0..n.saturating_sub(1) {
             let (a, b) = medium.pair(&net)?;
             brokers[i].connect_neighbor(a);
             brokers[i + 1].connect_neighbor(b);
+            expected_degree[i] += 1;
+            expected_degree[i + 1] += 1;
         }
         Ok(BrokerNetwork {
             brokers,
+            expected_degree,
             net,
             clock,
             medium,
@@ -115,13 +122,17 @@ impl BrokerNetwork {
         let brokers: Vec<Broker> = (0..=leaves)
             .map(|i| Broker::new(format!("broker-{i}"), clock.clone(), broker_cfg.clone()))
             .collect();
+        let mut expected_degree = vec![0usize; leaves + 1];
         for i in 1..=leaves {
             let (a, b) = medium.pair(&net)?;
             brokers[0].connect_neighbor(a);
             brokers[i].connect_neighbor(b);
+            expected_degree[0] += 1;
+            expected_degree[i] += 1;
         }
         Ok(BrokerNetwork {
             brokers,
+            expected_degree,
             net,
             clock,
             medium,
@@ -176,20 +187,21 @@ impl BrokerNetwork {
         )
     }
 
-    /// Waits until every broker has seen its expected neighbours
-    /// (simple startup barrier for tests/benches).
+    /// Waits until every broker has registered its expected
+    /// neighbours (startup barrier for tests/benches).
+    ///
+    /// Event-driven: each broker blocks on
+    /// [`Broker::wait_for_neighbors`], which is woken by the neighbour
+    /// workers the moment a registration lands — no sleep-polling, so
+    /// the barrier releases as soon as the last handshake completes.
     pub fn wait_for_mesh(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        loop {
-            let total_links: usize = self.brokers.iter().map(|b| b.neighbor_count()).sum();
-            let expected = 2 * (self.brokers.len().saturating_sub(1));
-            if total_links >= expected {
-                return true;
-            }
-            if std::time::Instant::now() > deadline {
-                return false;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        self.brokers
+            .iter()
+            .zip(&self.expected_degree)
+            .all(|(broker, &want)| {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                broker.wait_for_neighbors(want, remaining)
+            })
     }
 }

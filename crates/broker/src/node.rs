@@ -7,16 +7,18 @@ use crate::Result;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
+use nb_metrics::{Counter, Gauge, Registry, Snapshot};
 use nb_transport::clock::SharedClock;
 use nb_transport::endpoint::{Endpoint, FrameSender};
 use nb_wire::codec::{Decode, Encode};
 use nb_wire::constrained::{Action, Actor, AllowedActions, ConstrainedTopic, EventType};
 use nb_wire::token::Rights;
 use nb_wire::{Message, Payload, Topic};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Broker tuning knobs.
 #[derive(Debug, Clone)]
@@ -46,38 +48,99 @@ impl Default for BrokerConfig {
     }
 }
 
-/// Monotonic counters exposed for the benchmarks (message-volume
-/// comparisons against the naive baseline).
-#[derive(Debug, Default)]
-pub struct BrokerStats {
+/// Cached handles on the broker's per-instance metrics registry.
+///
+/// The named counters are the hot-path metrics; gauges (client,
+/// neighbour, subscription and queue sizes) are sampled lazily in
+/// [`Broker::metrics_snapshot`]. Metric names are catalogued in
+/// `docs/OBSERVABILITY.md` under the `broker.*` family.
+#[derive(Debug)]
+struct BrokerMetrics {
+    registry: Registry,
     /// Messages accepted for routing (client + internal publishes).
-    pub published: AtomicU64,
+    published: Counter,
     /// Messages handed to local consumers.
-    pub delivered_local: AtomicU64,
+    delivered_local: Counter,
     /// Messages forwarded to neighbouring brokers.
-    pub forwarded: AtomicU64,
+    forwarded: Counter,
     /// Publish/subscribe attempts refused by constraint checks.
-    pub rejected: AtomicU64,
+    rejected: Counter,
     /// Spurious traces dropped for missing/invalid tokens (§5.2).
-    pub dropped_spurious: AtomicU64,
+    dropped_spurious: Counter,
     /// Clients disconnected for repeated bogus attempts.
-    pub terminated_clients: AtomicU64,
+    terminated_clients: Counter,
+    /// Condvar wake-ups inside [`Broker::wait_for_neighbors`].
+    neighbor_wait_wakeups: Counter,
+    clients: Gauge,
+    neighbors: Gauge,
+    subs_local: Gauge,
+    subs_remote: Gauge,
+    queue_depth: Gauge,
 }
 
-/// Point-in-time copy of [`BrokerStats`].
+impl BrokerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        BrokerMetrics {
+            published: registry.counter("broker.publish.accepted"),
+            delivered_local: registry.counter("broker.deliver.local"),
+            forwarded: registry.counter("broker.forward.neighbor"),
+            rejected: registry.counter("broker.reject.constraint"),
+            dropped_spurious: registry.counter("broker.drop.spurious_token"),
+            terminated_clients: registry.counter("broker.client.terminated"),
+            neighbor_wait_wakeups: registry.counter("broker.neighbor_wait.wakeups"),
+            clients: registry.gauge("broker.clients"),
+            neighbors: registry.gauge("broker.neighbors"),
+            subs_local: registry.gauge("broker.subscriptions.local"),
+            subs_remote: registry.gauge("broker.subscriptions.remote"),
+            queue_depth: registry.gauge("broker.queue.internal_depth"),
+            registry,
+        }
+    }
+
+    /// Per-event-type publish counter (`broker.publish.topic.<family>`).
+    fn published_for(&self, family: &str) -> Counter {
+        self.registry.counter(&format!("broker.publish.topic.{family}"))
+    }
+
+    /// Per-event-type delivery counter (`broker.deliver.topic.<family>`).
+    fn delivered_for(&self, family: &str) -> Counter {
+        self.registry.counter(&format!("broker.deliver.topic.{family}"))
+    }
+}
+
+/// Bounded-cardinality label for per-topic counters: the constrained
+/// topic's event-type segment, or `plain` for unconstrained topics.
+fn topic_family(constrained: &Option<ConstrainedTopic>) -> &str {
+    match constrained {
+        Some(c) => match &c.event_type {
+            EventType::RealTime => "RealTime",
+            EventType::Traces => "Traces",
+            EventType::Other(s) => s.as_str(),
+        },
+        None => "plain",
+    }
+}
+
+/// Point-in-time copy of a broker's core routing counters (see
+/// [`Broker::stats`]). The full instrumented view — including the
+/// per-topic-family splits and the gauges — is
+/// [`Broker::metrics_snapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// See [`BrokerStats::published`].
+    /// Publishes accepted into routing (`broker.publish.accepted`).
     pub published: u64,
-    /// See [`BrokerStats::delivered_local`].
+    /// Deliveries to local consumers (`broker.deliver.local`).
     pub delivered_local: u64,
-    /// See [`BrokerStats::forwarded`].
+    /// Messages forwarded to neighbour brokers (`broker.forward.neighbor`).
     pub forwarded: u64,
-    /// See [`BrokerStats::rejected`].
+    /// Publish/subscribe attempts refused by constrained-topic rules
+    /// (`broker.reject.constraint`).
     pub rejected: u64,
-    /// See [`BrokerStats::dropped_spurious`].
+    /// Trace publications dropped for a missing, expired or forged
+    /// token (`broker.drop.spurious_token`).
     pub dropped_spurious: u64,
-    /// See [`BrokerStats::terminated_clients`].
+    /// Clients disconnected by DoS containment (`broker.client.terminated`).
     pub terminated_clients: u64,
 }
 
@@ -103,7 +166,10 @@ struct Inner {
     clock: SharedClock,
     config: BrokerConfig,
     state: Mutex<State>,
-    stats: BrokerStats,
+    /// Notified whenever the neighbour table changes (see
+    /// [`Broker::wait_for_neighbors`]).
+    neighbor_cv: Condvar,
+    metrics: BrokerMetrics,
     msg_seq: AtomicU64,
 }
 
@@ -137,7 +203,8 @@ impl Broker {
                     owner_keys: HashMap::new(),
                     hello_replied_ms: HashMap::new(),
                 }),
-                stats: BrokerStats::default(),
+                neighbor_cv: Condvar::new(),
+                metrics: BrokerMetrics::new(),
                 msg_seq: AtomicU64::new(1),
             }),
         };
@@ -162,14 +229,58 @@ impl Broker {
 
     /// Counters snapshot.
     pub fn stats(&self) -> StatsSnapshot {
-        let s = &self.inner.stats;
+        let m = &self.inner.metrics;
         StatsSnapshot {
-            published: s.published.load(Ordering::Relaxed),
-            delivered_local: s.delivered_local.load(Ordering::Relaxed),
-            forwarded: s.forwarded.load(Ordering::Relaxed),
-            rejected: s.rejected.load(Ordering::Relaxed),
-            dropped_spurious: s.dropped_spurious.load(Ordering::Relaxed),
-            terminated_clients: s.terminated_clients.load(Ordering::Relaxed),
+            published: m.published.get(),
+            delivered_local: m.delivered_local.get(),
+            forwarded: m.forwarded.get(),
+            rejected: m.rejected.get(),
+            dropped_spurious: m.dropped_spurious.get(),
+            terminated_clients: m.terminated_clients.get(),
+        }
+    }
+
+    /// Captures every `broker.*` metric of this node: routing
+    /// counters, per-event-type publish/deliver counts, and freshly
+    /// sampled size gauges (clients, neighbours, subscription tables,
+    /// internal queue depth).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let m = &self.inner.metrics;
+        {
+            let state = self.inner.state.lock();
+            m.clients.set(state.clients.len() as i64);
+            m.neighbors.set(state.neighbors.len() as i64);
+            m.subs_local.set(state.subs.local_filter_count() as i64);
+            m.subs_remote.set(state.subs.remote_filter_count() as i64);
+            m.queue_depth
+                .set(state.internal.values().map(|tx| tx.len() as i64).sum());
+        }
+        m.registry.snapshot()
+    }
+
+    /// Blocks until this broker has registered at least `min`
+    /// neighbours, or `timeout` elapses. Returns whether the target
+    /// was reached.
+    ///
+    /// Event-driven: neighbour workers signal a condition variable on
+    /// every registration, so the caller wakes exactly when the table
+    /// changes instead of polling on a sleep loop. Spurious wake-ups
+    /// are counted in `broker.neighbor_wait.wakeups`.
+    pub fn wait_for_neighbors(&self, min: usize, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if state.neighbors.len() >= min {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner
+                .neighbor_cv
+                .wait_for(&mut state, deadline.duration_since(now));
+            self.inner.metrics.neighbor_wait_wakeups.inc();
         }
     }
 
@@ -346,17 +457,18 @@ fn route(inner: &Inner, msg: Message, origin: Origin) {
     let constrained = match ConstrainedTopic::parse(&msg.topic) {
         Ok(c) => c,
         Err(_) => {
-            inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.rejected.inc();
             return;
         }
     };
+    let family = topic_family(&constrained).to_string();
 
     // Enforcement depends on where the message came from.
     match &origin {
         Origin::Client(id) => {
             if let Some(c) = &constrained {
                 if !c.permits(&Actor::Entity(id.clone()), Action::Publish) {
-                    inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.rejected.inc();
                     punish(inner, id);
                     return;
                 }
@@ -365,7 +477,7 @@ fn route(inner: &Inner, msg: Message, origin: Origin) {
         Origin::Neighbor(_) => {
             if let Some(c) = &constrained {
                 if !token_acceptable(inner, &msg, c) {
-                    inner.stats.dropped_spurious.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.dropped_spurious.inc();
                     return;
                 }
             }
@@ -373,16 +485,17 @@ fn route(inner: &Inner, msg: Message, origin: Origin) {
         Origin::Internal => {}
     }
     if matches!(origin, Origin::Client(_) | Origin::Internal) {
-        inner.stats.published.fetch_add(1, Ordering::Relaxed);
         // The hosting broker also validates tokens on its own trace
         // publications' ingress from clients (clients can never publish
         // there — permits() already refused — so this is for Internal).
         if let (Origin::Internal, Some(c)) = (&origin, &constrained) {
             if !token_acceptable(inner, &msg, c) {
-                inner.stats.dropped_spurious.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.dropped_spurious.inc();
                 return;
             }
         }
+        inner.metrics.published.inc();
+        inner.metrics.published_for(&family).inc();
     }
 
     // Distribution suppression: the constrainer's publishes stay local
@@ -430,19 +543,22 @@ fn route(inner: &Inner, msg: Message, origin: Origin) {
     };
 
     let frame = msg.to_bytes();
+    let delivered_family = inner.metrics.delivered_for(&family);
     for sender in &client_senders {
         if sender.send_frame(&frame).is_ok() {
-            inner.stats.delivered_local.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.delivered_local.inc();
+            delivered_family.inc();
         }
     }
     for tx in &internal_senders {
         if tx.send(msg.clone()).is_ok() {
-            inner.stats.delivered_local.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.delivered_local.inc();
+            delivered_family.inc();
         }
     }
     for sender in &neighbor_senders {
         if sender.send_frame(&frame).is_ok() {
-            inner.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.forwarded.inc();
         }
     }
 }
@@ -454,7 +570,7 @@ fn punish(inner: &Inner, client_id: &str) {
         handle.bogus += 1;
         if handle.bogus >= inner.config.bogus_attempt_limit && !handle.terminated {
             handle.terminated = true;
-            inner.stats.terminated_clients.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.terminated_clients.inc();
             let sender = Arc::clone(&handle.sender);
             drop(state);
             let msg = Message::new(
@@ -586,7 +702,7 @@ fn handle_client_subscribe(
         Err(_) => false,
     };
     if !allowed {
-        inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.rejected.inc();
         let nack = Message::new(
             0,
             msg.topic.clone(),
@@ -669,6 +785,7 @@ fn neighbor_worker(inner: Arc<Inner>, endpoint: Endpoint) {
                             .lock()
                             .neighbors
                             .insert(id.clone(), endpoint.sender());
+                        inner.neighbor_cv.notify_all();
                         break id;
                     }
                     buffered.push(msg);
@@ -691,6 +808,8 @@ fn neighbor_worker(inner: Arc<Inner>, endpoint: Endpoint) {
             let mut state = inner.state.lock();
             state.neighbors.remove(&peer_id);
             state.subs.remove_neighbor(&peer_id);
+            drop(state);
+            inner.neighbor_cv.notify_all();
             return;
         };
         let Ok(msg) = Message::from_bytes(&frame) else {

@@ -152,6 +152,16 @@ impl SubscriptionTable {
     pub fn local_consumer_count(&self) -> usize {
         self.local.len()
     }
+
+    /// Total local (consumer, filter) registrations.
+    pub fn local_filter_count(&self) -> usize {
+        self.local.values().map(HashSet::len).sum()
+    }
+
+    /// Total remote (neighbour, filter) registrations.
+    pub fn remote_filter_count(&self) -> usize {
+        self.remote.values().map(HashSet::len).sum()
+    }
 }
 
 #[cfg(test)]

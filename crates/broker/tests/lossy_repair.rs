@@ -1,3 +1,6 @@
+//! Subscription adverts lost on a lossy link must eventually be
+//! repaired by the anti-entropy re-advertisement path.
+
 use nb_broker::network::BrokerNetwork;
 use nb_broker::BrokerConfig;
 use nb_transport::clock::system_clock;

@@ -29,6 +29,7 @@
 
 pub mod aes;
 pub mod bigint;
+mod instrument;
 pub mod cert;
 pub mod digest;
 pub mod error;

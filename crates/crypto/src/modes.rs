@@ -39,6 +39,7 @@ impl CipherMode {
 
 /// Encrypts with AES-CBC + PKCS#7. `iv` must be 16 bytes.
 pub fn cbc_encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let _t = crate::instrument::AES_ENCRYPT_US.start_timer();
     let aes = Aes::new(key)?;
     let iv: [u8; BLOCK_SIZE] = iv.try_into().map_err(|_| CryptoError::InvalidLength {
         what: "CBC IV",
@@ -62,6 +63,7 @@ pub fn cbc_encrypt(key: &[u8], iv: &[u8], plaintext: &[u8]) -> Result<Vec<u8>, C
 
 /// Decrypts AES-CBC + PKCS#7.
 pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let _t = crate::instrument::AES_DECRYPT_US.start_timer();
     let aes = Aes::new(key)?;
     let iv: [u8; BLOCK_SIZE] = iv.try_into().map_err(|_| CryptoError::InvalidLength {
         what: "CBC IV",
@@ -94,6 +96,7 @@ pub fn cbc_decrypt(key: &[u8], iv: &[u8], ciphertext: &[u8]) -> Result<Vec<u8>, 
 /// operation). `nonce` must be 16 bytes; the low 32 bits are treated as
 /// the big-endian block counter.
 pub fn ctr_transform(key: &[u8], nonce: &[u8], data: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let _t = crate::instrument::AES_CTR_US.start_timer();
     let aes = Aes::new(key)?;
     let counter0: [u8; BLOCK_SIZE] = nonce.try_into().map_err(|_| CryptoError::InvalidLength {
         what: "CTR nonce",

@@ -64,6 +64,7 @@ impl RsaKeyPair {
     /// The paper's benchmarks use `bits = 1024`.
     pub fn generate(bits: usize, rng: &mut dyn Rng) -> Result<Self, CryptoError> {
         assert!(bits >= 128, "modulus must be at least 128 bits");
+        let started = std::time::Instant::now();
         let e = BigUint::from_u64(65537);
         loop {
             let p = generate_prime(bits / 2, rng)?;
@@ -87,6 +88,7 @@ impl RsaKeyPair {
             let d_p = d.rem(&p1)?;
             let d_q = d.rem(&q1)?;
             let q_inv = q.mod_inverse(&p)?;
+            crate::instrument::RSA_KEYGEN_MS.record(started.elapsed().as_millis() as u64);
             return Ok(RsaKeyPair {
                 public: RsaPublicKey { n: n.clone(), e },
                 private: RsaPrivateKey {
@@ -139,6 +141,7 @@ impl RsaPublicKey {
         message: &[u8],
         signature: &[u8],
     ) -> Result<(), CryptoError> {
+        let _t = crate::instrument::RSA_VERIFY_US.start_timer();
         let k = self.modulus_len();
         if signature.len() != k {
             return Err(CryptoError::InvalidLength {
@@ -161,6 +164,7 @@ impl RsaPublicKey {
     ///
     /// The plaintext must be at most `modulus_len() - 11` bytes.
     pub fn encrypt(&self, plaintext: &[u8], rng: &mut dyn Rng) -> Result<Vec<u8>, CryptoError> {
+        let _t = crate::instrument::RSA_ENCRYPT_US.start_timer();
         let k = self.modulus_len();
         if plaintext.len() + 11 > k {
             return Err(CryptoError::MessageTooLarge);
@@ -260,6 +264,7 @@ impl RsaPrivateKey {
 
     /// Signs `message` with EMSA-PKCS1-v1_5 over digest `alg`.
     pub fn sign(&self, alg: DigestAlgorithm, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let _t = crate::instrument::RSA_SIGN_US.start_timer();
         let k = self.modulus_len();
         let em = emsa_pkcs1_v15(alg, message, k)?;
         let m = BigUint::from_bytes_be(&em);
@@ -269,6 +274,7 @@ impl RsaPrivateKey {
 
     /// Decrypts an EME-PKCS1-v1_5 ciphertext.
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let _t = crate::instrument::RSA_DECRYPT_US.start_timer();
         let k = self.modulus_len();
         if ciphertext.len() != k {
             return Err(CryptoError::InvalidLength {

@@ -1,0 +1,235 @@
+//! Log2-bucketed value histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::timer::Timer;
+
+/// Number of buckets: bucket 0 holds the value `0`, bucket `i`
+/// (1..=64) holds values in `[2^(i-1), 2^i - 1]`.
+const BUCKETS: usize = 65;
+
+struct Inner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A lock-free value distribution with power-of-two buckets.
+///
+/// Designed for latency measurements (microseconds or milliseconds)
+/// where an exact distribution is unnecessary but order-of-magnitude
+/// quantiles matter. Recording is a handful of relaxed atomic ops.
+///
+/// ```
+/// let r = nb_metrics::Registry::new();
+/// let h = r.histogram("latency_us");
+/// for v in [100, 200, 400, 800] {
+///     h.record(v);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.sum, 1500);
+/// assert_eq!(s.min, 100);
+/// assert_eq!(s.max, 800);
+/// assert!(s.quantile(0.5) >= 100);
+/// ```
+#[derive(Clone)]
+pub struct Histogram(Arc<Inner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram (not attached to any registry).
+    pub fn new() -> Self {
+        Histogram(Arc::new(Inner {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one observation of `value`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        };
+        let inner = &self.0;
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.min.fetch_min(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Starts a [`Timer`] that records elapsed **microseconds** into
+    /// this histogram when dropped.
+    pub fn start_timer(&self) -> Timer {
+        Timer::new(self.clone())
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Captures the current distribution.
+    pub fn summary(&self) -> HistogramSummary {
+        let inner = &self.0;
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(inner.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        let count = inner.count.load(Ordering::Relaxed);
+        HistogramSummary {
+            count,
+            sum: inner.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                inner.min.load(Ordering::Relaxed)
+            },
+            max: inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).finish()
+    }
+}
+
+/// An owned, point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Per-bucket observation counts; bucket 0 holds the value `0`,
+    /// bucket `i` holds values in `[2^(i-1), 2^i - 1]`.
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSummary {
+    /// Mean of the observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the buckets.
+    ///
+    /// Returns the midpoint of the bucket in which the quantile
+    /// falls, clamped to the observed `[min, max]` range; exact for
+    /// the extremes, order-of-magnitude accurate in between.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = if i == 0 {
+                    0
+                } else {
+                    let lo = 1u64 << (i - 1);
+                    let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+                    lo + (hi - lo) / 2
+                };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(4); // bucket 3
+        h.record(u64::MAX); // bucket 64
+        let s = h.summary();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        let p50 = s.quantile(0.5);
+        let p90 = s.quantile(0.9);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p90 && p90 <= p99);
+        assert!(p50 >= s.min && p99 <= s.max);
+        assert_eq!(s.quantile(0.0), s.min);
+        assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.summary();
+        assert_eq!(s.quantile(0.5), 42);
+        assert_eq!(s.quantile(0.99), 42);
+        assert_eq!(s.mean(), 42.0);
+    }
+}

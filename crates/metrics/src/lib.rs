@@ -1,0 +1,77 @@
+//! # nb-metrics — workspace-wide observability primitives
+//!
+//! Every runtime subsystem of the entity-tracing stack (brokers,
+//! tracing engines, trackers, TDNs, transports, crypto hot paths)
+//! reports into the types defined here, so that benchmarks and
+//! operators can account for every message and cryptographic
+//! operation behind a measurement. See `docs/OBSERVABILITY.md` for
+//! the catalogue of metric names.
+//!
+//! The crate is dependency-free and entirely lock-free on the hot
+//! path:
+//!
+//! * [`Counter`] — a monotonically increasing `AtomicU64`,
+//! * [`Gauge`] — a signed instantaneous value (`AtomicI64`),
+//! * [`Histogram`] — log2-bucketed value distribution with
+//!   count/sum/min/max and quantile estimates,
+//! * [`Registry`] — a named collection of the above, snapshotted into
+//!   a [`Snapshot`] that renders as an aligned table or a
+//!   line-oriented `key value` dump,
+//! * [`Timer`] — a drop guard recording elapsed microseconds into a
+//!   histogram,
+//! * [`global()`] — the process-wide registry used by subsystems that
+//!   have no natural owner (crypto primitives, transport aggregates).
+//!
+//! Handles are cheap to clone ([`Arc`][std::sync::Arc] inside) and
+//! updating them never takes a lock; only registration
+//! (`registry.counter(...)`) and snapshotting touch a mutex.
+//!
+//! ```
+//! use nb_metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! let published = registry.counter("broker.publish.accepted");
+//! let depth = registry.gauge("broker.queue.depth");
+//! let latency = registry.histogram("broker.route_us");
+//!
+//! published.inc();
+//! depth.set(3);
+//! latency.record(120);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("broker.publish.accepted"), Some(1));
+//! assert_eq!(snap.gauge("broker.queue.depth"), Some(3));
+//! assert!(snap.to_table().contains("broker.route_us"));
+//! ```
+
+mod histogram;
+mod registry;
+mod snapshot;
+mod timer;
+
+pub use histogram::{Histogram, HistogramSummary};
+pub use registry::{Counter, Gauge, Registry};
+pub use snapshot::{Snapshot, SnapshotEntry, SnapshotValue};
+pub use timer::Timer;
+
+use std::sync::LazyLock;
+
+static GLOBAL: LazyLock<Registry> = LazyLock::new(Registry::new);
+
+/// The process-wide registry.
+///
+/// Used by subsystems without a natural per-instance owner: the
+/// crypto primitives (`crypto.*`), transport aggregates
+/// (`transport.*`) and authorization-token accounting (`token.*`).
+/// Counters here are cumulative over the life of the process, so
+/// tests should assert on deltas rather than absolute values.
+///
+/// ```
+/// let ops = nb_metrics::global().counter("doc.example.ops");
+/// let before = ops.get();
+/// ops.inc();
+/// assert_eq!(ops.get(), before + 1);
+/// ```
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}

@@ -1,0 +1,252 @@
+//! Point-in-time registry snapshots and their text renderings.
+
+use crate::histogram::HistogramSummary;
+
+/// The captured value of one metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    /// A counter's cumulative value.
+    Counter(u64),
+    /// A gauge's instantaneous value.
+    Gauge(i64),
+    /// A histogram's distribution summary.
+    Histogram(HistogramSummary),
+}
+
+/// One named metric captured by [`Registry::snapshot`][crate::Registry::snapshot].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    /// Fully qualified metric name (including any prefixes).
+    pub name: String,
+    /// Captured value.
+    pub value: SnapshotValue,
+}
+
+/// An ordered, owned capture of a registry's metrics.
+///
+/// Snapshots compose: [`prefixed`][Snapshot::prefixed] namespaces all
+/// entries under a component id and [`merge`][Snapshot::merge] combines
+/// captures from several components into one report.
+///
+/// ```
+/// use nb_metrics::Registry;
+///
+/// let broker = Registry::new();
+/// broker.counter("publish.accepted").add(3);
+/// let engine = Registry::new();
+/// engine.counter("pings.sent").add(9);
+///
+/// let report = broker
+///     .snapshot()
+///     .prefixed("broker-0")
+///     .merge(engine.snapshot().prefixed("engine-0"));
+/// assert_eq!(report.counter("broker-0.publish.accepted"), Some(3));
+/// assert_eq!(report.counter("engine-0.pings.sent"), Some(9));
+///
+/// // Line-oriented dump: one `key value` pair per line.
+/// let dump = report.to_dump();
+/// assert!(dump.contains("broker-0.publish.accepted 3"));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from pre-sorted entries.
+    pub(crate) fn from_entries(entries: Vec<SnapshotEntry>) -> Self {
+        Snapshot { entries }
+    }
+
+    /// All captured entries, sorted by name.
+    pub fn entries(&self) -> &[SnapshotEntry] {
+        &self.entries
+    }
+
+    /// True when nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of captured entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns a copy with every metric name prefixed by `prefix` and
+    /// a dot separator.
+    #[must_use]
+    pub fn prefixed(mut self, prefix: &str) -> Self {
+        for e in &mut self.entries {
+            e.name = format!("{prefix}.{}", e.name);
+        }
+        self
+    }
+
+    /// Combines two snapshots, re-sorting by name. Duplicate names are
+    /// kept verbatim (callers namespace with [`prefixed`][Self::prefixed]).
+    #[must_use]
+    pub fn merge(mut self, other: Snapshot) -> Self {
+        self.entries.extend(other.entries);
+        self.entries.sort_by(|a, b| a.name.cmp(&b.name));
+        self
+    }
+
+    /// Looks up a counter's value by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Counter(v) if e.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a gauge's value by exact name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Gauge(v) if e.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram's summary by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.entries.iter().find_map(|e| match &e.value {
+            SnapshotValue::Histogram(h) if e.name == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Sums every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name.starts_with(prefix))
+            .filter_map(|e| match &e.value {
+                SnapshotValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders an aligned, human-readable table.
+    ///
+    /// One row per metric: name, kind, then the value — counters and
+    /// gauges print the number, histograms print
+    /// `n=<count> sum=<sum> min=<min> p50=<..> p90=<..> p99=<..> max=<max>`.
+    pub fn to_table(&self) -> String {
+        let name_w = self
+            .entries
+            .iter()
+            .map(|e| e.name.len())
+            .chain(std::iter::once("metric".len()))
+            .max()
+            .unwrap_or(6);
+        let mut out = String::new();
+        out.push_str(&format!("{:<name_w$}  {:<9}  value\n", "metric", "kind"));
+        out.push_str(&format!("{:-<name_w$}  {:-<9}  {:-<5}\n", "", "", ""));
+        for e in &self.entries {
+            let (kind, value) = match &e.value {
+                SnapshotValue::Counter(v) => ("counter", v.to_string()),
+                SnapshotValue::Gauge(v) => ("gauge", v.to_string()),
+                SnapshotValue::Histogram(h) => (
+                    "histogram",
+                    format!(
+                        "n={} sum={} min={} p50={} p90={} p99={} max={}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                        h.max
+                    ),
+                ),
+            };
+            out.push_str(&format!("{:<name_w$}  {kind:<9}  {value}\n", e.name));
+        }
+        out
+    }
+
+    /// Renders a machine-parsable `key value` dump, one pair per line.
+    ///
+    /// Histograms expand into `<name>.count`, `<name>.sum`,
+    /// `<name>.min`, `<name>.p50`, `<name>.p90`, `<name>.p99` and
+    /// `<name>.max` lines.
+    pub fn to_dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            match &e.value {
+                SnapshotValue::Counter(v) => out.push_str(&format!("{} {v}\n", e.name)),
+                SnapshotValue::Gauge(v) => out.push_str(&format!("{} {v}\n", e.name)),
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!("{}.count {}\n", e.name, h.count));
+                    out.push_str(&format!("{}.sum {}\n", e.name, h.sum));
+                    out.push_str(&format!("{}.min {}\n", e.name, h.min));
+                    out.push_str(&format!("{}.p50 {}\n", e.name, h.quantile(0.5)));
+                    out.push_str(&format!("{}.p90 {}\n", e.name, h.quantile(0.9)));
+                    out.push_str(&format!("{}.p99 {}\n", e.name, h.quantile(0.99)));
+                    out.push_str(&format!("{}.max {}\n", e.name, h.max));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prefix_and_merge_namespace_entries() {
+        let a = Registry::new();
+        a.counter("hits").inc();
+        let b = Registry::new();
+        b.gauge("depth").set(-2);
+
+        let merged = a
+            .snapshot()
+            .prefixed("a")
+            .merge(b.snapshot().prefixed("b"));
+        assert_eq!(merged.counter("a.hits"), Some(1));
+        assert_eq!(merged.gauge("b.depth"), Some(-2));
+        assert_eq!(merged.len(), 2);
+        assert!(!merged.is_empty());
+    }
+
+    #[test]
+    fn counter_sum_over_prefix() {
+        let r = Registry::new();
+        r.counter("topic.load.n").add(2);
+        r.counter("topic.avail.n").add(3);
+        r.counter("other").add(100);
+        let s = r.snapshot();
+        assert_eq!(s.counter_sum("topic."), 5);
+    }
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let r = Registry::new();
+        r.counter("a.very.long.metric.name").add(1);
+        r.gauge("g").set(5);
+        r.histogram("h").record(7);
+        let table = r.snapshot().to_table();
+        let lines: Vec<&str> = table.lines().collect();
+        // header + separator + 3 metrics
+        assert_eq!(lines.len(), 5);
+        assert!(table.contains("a.very.long.metric.name"));
+        assert!(table.contains("histogram"));
+        assert!(table.contains("n=1"));
+    }
+
+    #[test]
+    fn dump_expands_histograms() {
+        let r = Registry::new();
+        r.histogram("lat").record(10);
+        let dump = r.snapshot().to_dump();
+        assert!(dump.contains("lat.count 1"));
+        assert!(dump.contains("lat.sum 10"));
+        assert!(dump.contains("lat.p50 10"));
+        assert!(dump.contains("lat.max 10"));
+    }
+}

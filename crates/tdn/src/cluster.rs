@@ -146,6 +146,15 @@ impl TdnCluster {
             .map(|m| m.tdn.public_key())
     }
 
+    /// Captures every member's `tdn.*` metrics, namespaced by TDN id.
+    pub fn metrics_snapshot(&self) -> nb_metrics::Snapshot {
+        self.members
+            .iter()
+            .fold(nb_metrics::Snapshot::default(), |acc, m| {
+                acc.merge(m.tdn.metrics_snapshot().prefixed(m.tdn.id()))
+            })
+    }
+
     /// Copies every advertisement known to live members onto `idx`
     /// (healing after revival).
     pub fn resync(&self, idx: usize) -> Result<usize> {

@@ -6,6 +6,7 @@ use nb_crypto::cert::{Certificate, Credential};
 use nb_crypto::digest::DigestAlgorithm;
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::{CryptoError, Uuid};
+use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 use nb_transport::clock::SharedClock;
 use nb_wire::payload::{DiscoveryRestrictions, TopicAdvertisement};
 use parking_lot::Mutex;
@@ -43,6 +44,37 @@ struct Store {
     peer_keys: HashMap<String, RsaPublicKey>,
 }
 
+/// Cached handles on a TDN's per-instance registry (`tdn.*` metric
+/// family; see `docs/OBSERVABILITY.md`).
+struct TdnMetrics {
+    registry: Registry,
+    topics_created: Counter,
+    discovery_queries: Counter,
+    discovery_denied: Counter,
+    replicas_accepted: Counter,
+    replicas_rejected: Counter,
+    /// Age of an advertisement when its replica lands here — the
+    /// cluster's replication lag.
+    replication_lag_ms: Histogram,
+    adverts: Gauge,
+}
+
+impl TdnMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        TdnMetrics {
+            topics_created: registry.counter("tdn.topics.created"),
+            discovery_queries: registry.counter("tdn.discovery.queries"),
+            discovery_denied: registry.counter("tdn.discovery.denied"),
+            replicas_accepted: registry.counter("tdn.replicas.accepted"),
+            replicas_rejected: registry.counter("tdn.replicas.rejected"),
+            replication_lag_ms: registry.histogram("tdn.replication.lag_ms"),
+            adverts: registry.gauge("tdn.adverts"),
+            registry,
+        }
+    }
+}
+
 /// A Topic Discovery Node.
 pub struct Tdn {
     id: String,
@@ -50,6 +82,7 @@ pub struct Tdn {
     ca_key: RsaPublicKey,
     clock: SharedClock,
     store: Mutex<Store>,
+    metrics: TdnMetrics,
     rng: Mutex<StdRng>,
 }
 
@@ -72,6 +105,7 @@ impl Tdn {
                 adverts: HashMap::new(),
                 peer_keys: HashMap::new(),
             }),
+            metrics: TdnMetrics::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -128,6 +162,7 @@ impl Tdn {
             .lock()
             .adverts
             .insert(advert.topic_id, advert.clone());
+        self.metrics.topics_created.inc();
         Ok(advert)
     }
 
@@ -141,12 +176,20 @@ impl Tdn {
         let key = match peer_key {
             Some(k) => k,
             None if advert.tdn_id == self.id => self.public_key(),
-            None => return Err(TdnError::UnknownPeer(advert.tdn_id.clone())),
+            None => {
+                self.metrics.replicas_rejected.inc();
+                return Err(TdnError::UnknownPeer(advert.tdn_id.clone()));
+            }
         };
-        advert
-            .verify(&key)
-            .map_err(|_| TdnError::BadAdvertisement("signature"))?;
+        if advert.verify(&key).is_err() {
+            self.metrics.replicas_rejected.inc();
+            return Err(TdnError::BadAdvertisement("signature"));
+        }
+        self.metrics
+            .replication_lag_ms
+            .record(self.clock.now_ms().saturating_sub(advert.created_ms));
         self.store.lock().adverts.insert(advert.topic_id, advert);
+        self.metrics.replicas_accepted.inc();
         Ok(())
     }
 
@@ -155,8 +198,10 @@ impl Tdn {
     /// paper's TDN silently ignores them rather than revealing that a
     /// matching topic exists.
     pub fn discover(&self, query: &str, credentials: &Certificate) -> Vec<TopicAdvertisement> {
+        self.metrics.discovery_queries.inc();
         let now = self.clock.now_ms();
         if credentials.verify(&self.ca_key, now).is_err() {
+            self.metrics.discovery_denied.inc();
             return Vec::new();
         }
         let store = self.store.lock();
@@ -194,6 +239,13 @@ impl Tdn {
     /// Number of stored advertisements.
     pub fn advert_count(&self) -> usize {
         self.store.lock().adverts.len()
+    }
+
+    /// Captures every `tdn.*` metric of this node (the advert-count
+    /// gauge is sampled at call time).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.metrics.adverts.set(self.advert_count() as i64);
+        self.metrics.registry.snapshot()
     }
 }
 

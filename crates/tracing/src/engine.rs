@@ -15,6 +15,7 @@ use nb_crypto::hybrid::SealedEnvelope;
 use nb_crypto::modes::{cbc_encrypt, ctr_transform, CipherMode};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
+use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 use nb_transport::clock::SharedClock;
 use nb_wire::codec::{Decode, Encode};
 use nb_wire::payload::{SessionGrant, TraceKeyMaterial};
@@ -25,7 +26,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Everything an engine needs at start-up.
@@ -46,26 +47,43 @@ pub struct EngineSetup {
     pub seed: u64,
 }
 
-/// Counters for benchmarks and tests.
-#[derive(Debug, Default)]
-pub struct EngineStats {
-    /// Trace events published.
-    pub traces_published: AtomicU64,
-    /// Trace events suppressed by interest gating (§3.5).
-    pub traces_gated: AtomicU64,
-    /// Pings sent.
-    pub pings_sent: AtomicU64,
-    /// FAILURE_SUSPICION events.
-    pub suspicions: AtomicU64,
-    /// FAILED events.
-    pub failures: AtomicU64,
-    /// Messages whose signature/MAC failed.
-    pub auth_failures: AtomicU64,
-    /// Sealed trace keys delivered to trackers.
-    pub keys_delivered: AtomicU64,
+/// Cached handles on an engine's per-instance registry (`tracing.*`
+/// metric family; see `docs/OBSERVABILITY.md`).
+struct EngineMetrics {
+    registry: Registry,
+    traces_published: Counter,
+    traces_gated: Counter,
+    pings_sent: Counter,
+    suspicions: Counter,
+    failures: Counter,
+    auth_failures: Counter,
+    keys_delivered: Counter,
+    /// Milliseconds from the last evidence of liveness (last ping
+    /// response, or the first ping for entities that never answered)
+    /// to the FAILED verdict — the paper's detection latency.
+    time_to_detect_ms: Histogram,
+    sessions: Gauge,
 }
 
-/// Snapshot of [`EngineStats`].
+impl EngineMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        EngineMetrics {
+            traces_published: registry.counter("tracing.traces.published"),
+            traces_gated: registry.counter("tracing.traces.gated"),
+            pings_sent: registry.counter("tracing.pings.sent"),
+            suspicions: registry.counter("tracing.detector.suspicions"),
+            failures: registry.counter("tracing.detector.failures"),
+            auth_failures: registry.counter("tracing.auth.failures"),
+            keys_delivered: registry.counter("tracing.keys.delivered"),
+            time_to_detect_ms: registry.histogram("tracing.detection.time_to_detect_ms"),
+            sessions: registry.gauge("tracing.sessions"),
+            registry,
+        }
+    }
+}
+
+/// Counters snapshot for benchmarks and tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStatsSnapshot {
     /// Trace events published.
@@ -121,7 +139,7 @@ struct EngineInner {
     sessions: Mutex<HashMap<String, Session>>,
     /// trace topic → entity id (for interest responses).
     topic_index: Mutex<HashMap<Uuid, String>>,
-    stats: EngineStats,
+    metrics: EngineMetrics,
     stop: AtomicBool,
     rng: Mutex<StdRng>,
     consumer: String,
@@ -154,7 +172,7 @@ impl TracingEngine {
             config: setup.config,
             sessions: Mutex::new(HashMap::new()),
             topic_index: Mutex::new(HashMap::new()),
-            stats: EngineStats::default(),
+            metrics: EngineMetrics::new(),
             stop: AtomicBool::new(false),
             rng: Mutex::new(StdRng::seed_from_u64(setup.seed)),
             consumer,
@@ -243,16 +261,26 @@ impl TracingEngine {
 
     /// Counters snapshot.
     pub fn stats(&self) -> EngineStatsSnapshot {
-        let s = &self.inner.stats;
+        let m = &self.inner.metrics;
         EngineStatsSnapshot {
-            traces_published: s.traces_published.load(Ordering::Relaxed),
-            traces_gated: s.traces_gated.load(Ordering::Relaxed),
-            pings_sent: s.pings_sent.load(Ordering::Relaxed),
-            suspicions: s.suspicions.load(Ordering::Relaxed),
-            failures: s.failures.load(Ordering::Relaxed),
-            auth_failures: s.auth_failures.load(Ordering::Relaxed),
-            keys_delivered: s.keys_delivered.load(Ordering::Relaxed),
+            traces_published: m.traces_published.get(),
+            traces_gated: m.traces_gated.get(),
+            pings_sent: m.pings_sent.get(),
+            suspicions: m.suspicions.get(),
+            failures: m.failures.get(),
+            auth_failures: m.auth_failures.get(),
+            keys_delivered: m.keys_delivered.get(),
         }
+    }
+
+    /// Captures every `tracing.*` metric of this engine (the session
+    /// gauge is sampled at call time).
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.inner
+            .metrics
+            .sessions
+            .set(self.session_count() as i64);
+        self.inner.metrics.registry.snapshot()
     }
 }
 
@@ -301,14 +329,14 @@ fn handle_registration(inner: &Arc<EngineInner>, msg: &Message) {
 
     // 1. Certificate must chain to the CA.
     if credentials.verify(&inner.ca_key, now).is_err() {
-        inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.auth_failures.inc();
         reject("invalid credentials");
         return;
     }
     // 2. Proof of possession + tamper evidence: the message signature
     //    must verify under the presented certificate (§3.2).
     if msg.verify_signature(&credentials.public_key).is_err() {
-        inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.auth_failures.inc();
         reject("signature verification failed");
         return;
     }
@@ -471,17 +499,13 @@ fn handle_registration(inner: &Arc<EngineInner>, msg: &Message) {
 /// sound. Accepting either also makes the scheme robust to messages
 /// reordered around the `SymmetricKeySetup` transition — UDP-style
 /// links can deliver the first MAC'd messages before the setup itself.
-fn authenticate(inner: &EngineInner, session: &Session, msg: &Message) -> bool {
+fn authenticate(session: &Session, msg: &Message) -> bool {
     if let Some(key) = &session.mac_key {
         if msg.mac.is_some() && msg.verify_mac(key).is_ok() {
             return true;
         }
     }
-    if msg.signature.is_some() && msg.verify_signature(&session.cert.public_key).is_ok() {
-        return true;
-    }
-    inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
-    false
+    msg.signature.is_some() && msg.verify_signature(&session.cert.public_key).is_ok()
 }
 
 fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
@@ -495,19 +519,20 @@ fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
     let is_key_setup = matches!(msg.payload, Payload::SymmetricKeySetup { .. });
     if is_key_setup {
         if msg.verify_signature(&session.cert.public_key).is_err() {
-            inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.auth_failures.inc();
             return;
         }
-    } else if !authenticate(inner, session, &msg) {
+    } else if !authenticate(session, &msg) {
         // A MAC'd message that overtook the key setup on a reordering
-        // link: park it until the setup arrives (bounded).
+        // link: park it until the setup arrives (bounded). That is
+        // deferral, not refusal, so it never counts as a failure.
         if msg.mac.is_some()
             && session.mac_key.is_none()
             && session.pending_mac.len() < MAX_PENDING_MAC
         {
-            // Undo the failure count — this is deferral, not refusal.
-            inner.stats.auth_failures.fetch_sub(1, Ordering::Relaxed);
             session.pending_mac.push(msg);
+        } else {
+            inner.metrics.auth_failures.inc();
         }
         return;
     }
@@ -558,7 +583,7 @@ fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
                 )
                 .is_err()
             {
-                inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.auth_failures.inc();
                 return;
             }
             session.token = Some(token);
@@ -611,7 +636,7 @@ fn handle_interest_response(inner: &Arc<EngineInner>, msg: &Message) {
     if credentials.verify(&inner.ca_key, now).is_err()
         || msg.verify_signature(&credentials.public_key).is_err()
     {
-        inner.stats.auth_failures.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.auth_failures.inc();
         return;
     }
     // Locate the session by the trace topic embedded in the channel.
@@ -687,7 +712,7 @@ fn deliver_pending_keys(inner: &EngineInner, session: &mut Session, now: u64) {
         .with_token(token.clone());
         inner.broker.publish_internal(msg);
         session.interest.mark_key_delivered(&tracker_id);
-        inner.stats.keys_delivered.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.keys_delivered.inc();
     }
 }
 
@@ -719,7 +744,7 @@ fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, no
     let gated = category != TraceCategory::ChangeNotifications
         && !session.interest.wants(category);
     if gated {
-        inner.stats.traces_gated.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.traces_gated.inc();
         return;
     }
     let Some(token) = session.token.clone() else {
@@ -763,7 +788,7 @@ fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, no
     )
     .with_token(token);
     inner.broker.publish_internal(msg);
-    inner.stats.traces_published.fetch_add(1, Ordering::Relaxed);
+    inner.metrics.traces_published.inc();
 }
 
 /// One scheduler pass: expire pings, emit new pings, re-gauge
@@ -775,11 +800,17 @@ fn run_tick(inner: &Arc<EngineInner>) {
         // Failure detection.
         match session.detector.on_tick(now) {
             Some(DetectorEvent::Suspect) => {
-                inner.stats.suspicions.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.suspicions.inc();
                 publish_trace(inner, session, TraceKind::FailureSuspicion, now);
             }
             Some(DetectorEvent::Fail) => {
-                inner.stats.failures.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.failures.inc();
+                if let Some(evidence) = session.detector.last_evidence_ms() {
+                    inner
+                        .metrics
+                        .time_to_detect_ms
+                        .record(now.saturating_sub(evidence));
+                }
                 publish_trace(inner, session, TraceKind::Failed, now);
             }
             _ => {}
@@ -807,7 +838,7 @@ fn run_tick(inner: &Arc<EngineInner>) {
                 },
             );
             inner.broker.publish_internal(ping);
-            inner.stats.pings_sent.fetch_add(1, Ordering::Relaxed);
+            inner.metrics.pings_sent.inc();
         }
 
         // Periodic interest re-gauging, plus expiry of trackers that

@@ -53,6 +53,10 @@ pub struct FailureDetector {
     next_seq: u64,
     last_ping_ms: Option<u64>,
     highest_answered_seq: Option<u64>,
+    /// Timestamp of the last evidence of liveness: the last answered
+    /// ping, or the first ping sent for entities that never answered.
+    /// Drives the time-to-detection histogram.
+    last_evidence_ms: Option<u64>,
     liveness: Liveness,
 }
 
@@ -71,6 +75,7 @@ impl FailureDetector {
             next_seq: 1,
             last_ping_ms: None,
             highest_answered_seq: None,
+            last_evidence_ms: None,
             liveness: Liveness::Alive,
         }
     }
@@ -102,6 +107,9 @@ impl FailureDetector {
         self.next_seq += 1;
         self.outstanding.insert(seq, now_ms);
         self.last_ping_ms = Some(now_ms);
+        if self.last_evidence_ms.is_none() {
+            self.last_evidence_ms = Some(now_ms);
+        }
         seq
     }
 
@@ -118,6 +126,7 @@ impl FailureDetector {
             self.highest_answered_seq = Some(seq);
         }
         self.rtt.observe(rtt);
+        self.last_evidence_ms = Some(now_ms);
         self.window.record(PingOutcome::Answered {
             rtt_ms: rtt,
             in_order,
@@ -179,6 +188,13 @@ impl FailureDetector {
     /// Number of unanswered pings currently in flight.
     pub fn outstanding(&self) -> usize {
         self.outstanding.len()
+    }
+
+    /// When the entity last showed signs of life: the last answered
+    /// ping, falling back to the first ping sent when nothing was ever
+    /// answered. `None` before the first ping.
+    pub fn last_evidence_ms(&self) -> Option<u64> {
+        self.last_evidence_ms
     }
 }
 
@@ -316,6 +332,18 @@ mod tests {
         let mut d = detector();
         assert_eq!(d.on_response(999, 5), None);
         assert!(d.window().is_empty());
+    }
+
+    #[test]
+    fn evidence_tracks_last_answered_ping() {
+        let mut d = detector();
+        assert_eq!(d.last_evidence_ms(), None);
+        let s1 = d.on_ping_sent(10);
+        assert_eq!(d.last_evidence_ms(), Some(10)); // first ping is the fallback
+        d.on_response(s1, 25);
+        assert_eq!(d.last_evidence_ms(), Some(25));
+        d.on_ping_sent(100);
+        assert_eq!(d.last_evidence_ms(), Some(25)); // unanswered pings are not evidence
     }
 
     #[test]

@@ -170,6 +170,22 @@ impl Deployment {
         }
     }
 
+    /// One merged metrics snapshot for the whole deployment: every
+    /// broker's `broker.*` family and every engine's `tracing.*` family
+    /// (each prefixed by the broker id), the TDN cluster's `tdn.*`
+    /// families, and the process-wide [`nb_metrics::global`] registry
+    /// (`crypto.*`, `token.*`, `transport.*`).
+    pub fn metrics_snapshot(&self) -> nb_metrics::Snapshot {
+        let mut merged = nb_metrics::global().snapshot();
+        for broker in &self.network.brokers {
+            merged = merged.merge(broker.metrics_snapshot().prefixed(broker.id()));
+        }
+        for (broker, engine) in self.network.brokers.iter().zip(&self.engines) {
+            merged = merged.merge(engine.metrics_snapshot().prefixed(broker.id()));
+        }
+        merged.merge(self.tdns.metrics_snapshot())
+    }
+
     /// Starts a traced entity attached to broker `idx`.
     pub fn traced_entity(
         &self,

@@ -16,6 +16,7 @@ use nb_crypto::cert::Credential;
 use nb_crypto::modes::{cbc_decrypt, ctr_transform, CipherMode};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
+use nb_metrics::{Counter, Registry, Snapshot};
 use nb_tdn::TdnCluster;
 use nb_transport::clock::SharedClock;
 use nb_wire::codec::Decode;
@@ -24,7 +25,7 @@ use nb_wire::token::Rights;
 use nb_wire::trace::{topics, TraceCategory, TraceEvent};
 use nb_wire::{Message, Payload};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,17 +43,27 @@ pub struct TrackerOptions {
     pub config: TracingConfig,
 }
 
-/// Counters for tests and benchmarks.
-#[derive(Debug, Default)]
-pub struct TrackerStats {
-    /// Verified traces applied to the view.
-    pub traces_applied: AtomicU64,
-    /// Messages dropped for missing/invalid tokens.
-    pub rejected_tokens: AtomicU64,
-    /// Encrypted traces that could not be decrypted.
-    pub undecryptable: AtomicU64,
-    /// Interest responses sent.
-    pub interest_responses: AtomicU64,
+/// Cached handles on a tracker's per-instance registry (`tracker.*`
+/// metric family; see `docs/OBSERVABILITY.md`).
+struct TrackerMetrics {
+    registry: Registry,
+    traces_applied: Counter,
+    rejected_tokens: Counter,
+    undecryptable: Counter,
+    interest_responses: Counter,
+}
+
+impl TrackerMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        TrackerMetrics {
+            traces_applied: registry.counter("tracker.traces.applied"),
+            rejected_tokens: registry.counter("tracker.tokens.rejected"),
+            undecryptable: registry.counter("tracker.traces.undecryptable"),
+            interest_responses: registry.counter("tracker.interest.responses"),
+            registry,
+        }
+    }
 }
 
 struct TrackerInner {
@@ -67,7 +78,7 @@ struct TrackerInner {
     interests: Vec<TraceCategory>,
     trace_key: Mutex<Option<(Vec<u8>, CipherMode)>>,
     view: AvailabilityView,
-    stats: TrackerStats,
+    metrics: TrackerMetrics,
     stop: AtomicBool,
 }
 
@@ -115,7 +126,7 @@ impl Tracker {
             interests: opts.interests,
             trace_key: Mutex::new(None),
             view: AvailabilityView::new(),
-            stats: TrackerStats::default(),
+            metrics: TrackerMetrics::new(),
             stop: AtomicBool::new(false),
         });
         let tracker = Tracker { inner };
@@ -145,17 +156,22 @@ impl Tracker {
 
     /// Traces applied so far.
     pub fn traces_applied(&self) -> u64 {
-        self.inner.stats.traces_applied.load(Ordering::Relaxed)
+        self.inner.metrics.traces_applied.get()
     }
 
     /// Token-rejected message count.
     pub fn rejected_tokens(&self) -> u64 {
-        self.inner.stats.rejected_tokens.load(Ordering::Relaxed)
+        self.inner.metrics.rejected_tokens.get()
     }
 
     /// Interest responses sent.
     pub fn interest_responses(&self) -> u64 {
-        self.inner.stats.interest_responses.load(Ordering::Relaxed)
+        self.inner.metrics.interest_responses.get()
+    }
+
+    /// Captures every `tracker.*` metric of this tracker.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.inner.metrics.registry.snapshot()
     }
 
     /// Whether the sealed trace key has arrived (secured tracing).
@@ -260,14 +276,14 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
             // §5.1: "Interested trackers, after confirming the validity
             // of the security token, then respond…"
             if !token_valid(inner, &msg) {
-                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected_tokens.inc();
                 return;
             }
             let _ = send_interest_response(inner);
         }
         Payload::TraceKeyDelivery { sealed } => {
             if !token_valid(inner, &msg) {
-                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected_tokens.inc();
                 return;
             }
             if let Ok(bytes) = sealed.open(&inner.credential.private_key) {
@@ -280,19 +296,19 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
         }
         Payload::Trace { event } => {
             if !token_valid(inner, &msg) {
-                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected_tokens.inc();
                 return;
             }
             apply_event(inner, event.clone());
         }
         Payload::EncryptedTrace { iv, ciphertext } => {
             if !token_valid(inner, &msg) {
-                inner.stats.rejected_tokens.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.rejected_tokens.inc();
                 return;
             }
             let key = inner.trace_key.lock().clone();
             let Some((key, mode)) = key else {
-                inner.stats.undecryptable.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.undecryptable.inc();
                 return;
             };
             let decrypted = match mode {
@@ -305,7 +321,7 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
             {
                 Some(event) => apply_event(inner, event),
                 None => {
-                    inner.stats.undecryptable.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.undecryptable.inc();
                 }
             }
         }
@@ -319,7 +335,7 @@ fn apply_event(inner: &TrackerInner, event: TraceEvent) {
         return;
     }
     inner.view.apply(&event);
-    inner.stats.traces_applied.fetch_add(1, Ordering::Relaxed);
+    inner.metrics.traces_applied.inc();
 }
 
 fn send_interest_response(inner: &Arc<TrackerInner>) -> Result<()> {
@@ -333,10 +349,7 @@ fn send_interest_response(inner: &Arc<TrackerInner>) -> Result<()> {
     );
     msg.sign(&inner.credential)?;
     inner.client.send_message(&msg)?;
-    inner
-        .stats
-        .interest_responses
-        .fetch_add(1, Ordering::Relaxed);
+    inner.metrics.interest_responses.inc();
     Ok(())
 }
 

@@ -1,8 +1,10 @@
 //! The uniform link-half abstraction shared by all transports.
 
 use crate::error::TransportError;
+use crate::instrument;
 use crate::Result;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -15,6 +17,84 @@ pub trait FrameSender: Send + Sync {
     fn send_frame(&self, frame: &[u8]) -> Result<()>;
 }
 
+#[derive(Default)]
+struct IoCounters {
+    frames_out: AtomicU64,
+    bytes_out: AtomicU64,
+    frames_in: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+/// Cumulative traffic counters for one [`Endpoint`].
+///
+/// Cheap to clone; every clone observes the same live counters.
+/// "Out" counts frames handed to the transport (before any simulated
+/// loss), "in" counts frames actually received by the endpoint owner.
+#[derive(Clone, Default)]
+pub struct EndpointStats(Arc<IoCounters>);
+
+impl EndpointStats {
+    /// Frames sent through this endpoint.
+    pub fn frames_out(&self) -> u64 {
+        self.0.frames_out.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes sent through this endpoint.
+    pub fn bytes_out(&self) -> u64 {
+        self.0.bytes_out.load(Ordering::Relaxed)
+    }
+
+    /// Frames received from this endpoint.
+    pub fn frames_in(&self) -> u64 {
+        self.0.frames_in.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes received from this endpoint.
+    pub fn bytes_in(&self) -> u64 {
+        self.0.bytes_in.load(Ordering::Relaxed)
+    }
+
+    fn record_out(&self, bytes: usize) {
+        self.0.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.0.bytes_out.fetch_add(bytes as u64, Ordering::Relaxed);
+        instrument::FRAMES_SENT.inc();
+        instrument::BYTES_SENT.add(bytes as u64);
+    }
+
+    fn record_in(&self, bytes: usize) {
+        self.0.frames_in.fetch_add(1, Ordering::Relaxed);
+        self.0.bytes_in.fetch_add(bytes as u64, Ordering::Relaxed);
+        instrument::FRAMES_RECEIVED.inc();
+        instrument::BYTES_RECEIVED.add(bytes as u64);
+    }
+}
+
+impl std::fmt::Debug for EndpointStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EndpointStats")
+            .field("frames_out", &self.frames_out())
+            .field("bytes_out", &self.bytes_out())
+            .field("frames_in", &self.frames_in())
+            .field("bytes_in", &self.bytes_in())
+            .finish()
+    }
+}
+
+/// Wraps the transport's sender so traffic through cloned sender
+/// handles is attributed to the owning endpoint as well.
+struct CountingSender {
+    inner: Arc<dyn FrameSender>,
+    stats: EndpointStats,
+}
+
+impl FrameSender for CountingSender {
+    fn send_frame(&self, frame: &[u8]) -> Result<()> {
+        self.inner.send_frame(frame)?;
+        self.stats.record_out(frame.len());
+        Ok(())
+    }
+}
+
 /// One half of a bidirectional, framed link.
 ///
 /// `Endpoint` is identical across the simulated, TCP and UDP
@@ -24,13 +104,22 @@ pub trait FrameSender: Send + Sync {
 pub struct Endpoint {
     tx: Arc<dyn FrameSender>,
     rx: Receiver<Vec<u8>>,
+    stats: EndpointStats,
 }
 
 impl Endpoint {
     /// Assembles an endpoint from its halves (used by transport
     /// implementations).
     pub fn from_parts(tx: Arc<dyn FrameSender>, rx: Receiver<Vec<u8>>) -> Self {
-        Endpoint { tx, rx }
+        let stats = EndpointStats::default();
+        Endpoint {
+            tx: Arc::new(CountingSender {
+                inner: tx,
+                stats: stats.clone(),
+            }),
+            rx,
+            stats,
+        }
     }
 
     /// Sends one frame.
@@ -46,34 +135,79 @@ impl Endpoint {
 
     /// Blocks until a frame arrives or the link closes.
     pub fn recv(&self) -> Result<Vec<u8>> {
-        self.rx.recv().map_err(|_| TransportError::Closed)
+        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        self.stats.record_in(frame.len());
+        Ok(frame)
     }
 
     /// Blocks up to `timeout` for a frame.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
+        let frame = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout,
             RecvTimeoutError::Disconnected => TransportError::Closed,
-        })
+        })?;
+        self.stats.record_in(frame.len());
+        Ok(frame)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Result<Option<Vec<u8>>> {
         match self.rx.try_recv() {
-            Ok(frame) => Ok(Some(frame)),
+            Ok(frame) => {
+                self.stats.record_in(frame.len());
+                Ok(Some(frame))
+            }
             Err(TryRecvError::Empty) => Ok(None),
             Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
         }
     }
 
-    /// A cloneable sender handle (for multi-writer use).
+    /// A cloneable sender handle (for multi-writer use). Frames sent
+    /// through the handle are counted against this endpoint's
+    /// [`stats`][Endpoint::stats].
     pub fn sender(&self) -> Arc<dyn FrameSender> {
         Arc::clone(&self.tx)
+    }
+
+    /// Live traffic counters for this endpoint.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats.clone()
     }
 }
 
 impl std::fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Endpoint(queued={})", self.rx.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{LinkConfig, SimNetwork};
+
+    #[test]
+    fn endpoint_stats_count_both_directions() {
+        let net = SimNetwork::new(11);
+        let (a, b) = net.symmetric_link(LinkConfig::instant());
+        a.send(b"12345").unwrap();
+        let got = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got, b"12345");
+        assert_eq!(a.stats().frames_out(), 1);
+        assert_eq!(a.stats().bytes_out(), 5);
+        assert_eq!(b.stats().frames_in(), 1);
+        assert_eq!(b.stats().bytes_in(), 5);
+        assert_eq!(a.stats().frames_in(), 0);
+    }
+
+    #[test]
+    fn cloned_sender_traffic_is_attributed_to_the_endpoint() {
+        let net = SimNetwork::new(12);
+        let (a, b) = net.symmetric_link(LinkConfig::instant());
+        let tx = a.sender();
+        tx.send_frame(b"via-handle").unwrap();
+        b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(a.stats().frames_out(), 1);
+        assert_eq!(a.stats().bytes_out(), 10);
     }
 }

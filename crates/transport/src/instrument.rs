@@ -1,0 +1,25 @@
+//! Process-wide transport aggregates on the global metrics registry.
+//!
+//! Per-endpoint traffic is tracked by
+//! [`EndpointStats`][crate::endpoint::EndpointStats]; the counters
+//! here aggregate across every endpoint and transport in the process
+//! so a single dump shows total wire activity. Names are catalogued in
+//! `docs/OBSERVABILITY.md` under the `transport.*` family.
+
+use std::sync::LazyLock;
+
+use nb_metrics::Counter;
+
+macro_rules! transport_counter {
+    ($static_name:ident, $metric:literal) => {
+        pub(crate) static $static_name: LazyLock<Counter> =
+            LazyLock::new(|| nb_metrics::global().counter($metric));
+    };
+}
+
+transport_counter!(FRAMES_SENT, "transport.frames.sent");
+transport_counter!(BYTES_SENT, "transport.bytes.sent");
+transport_counter!(FRAMES_RECEIVED, "transport.frames.received");
+transport_counter!(BYTES_RECEIVED, "transport.bytes.received");
+transport_counter!(SIM_FRAMES_DROPPED, "transport.sim.frames.dropped");
+transport_counter!(SIM_FRAMES_DUPLICATED, "transport.sim.frames.duplicated");

@@ -19,13 +19,14 @@
 pub mod clock;
 pub mod endpoint;
 pub mod error;
+mod instrument;
 pub mod metrics;
 pub mod sim;
 pub mod tcp;
 pub mod udp;
 
 pub use clock::{Clock, MockClock, SystemClock};
-pub use endpoint::Endpoint;
+pub use endpoint::{Endpoint, EndpointStats};
 pub use error::TransportError;
 pub use sim::{LinkConfig, SimNetwork};
 

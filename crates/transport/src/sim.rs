@@ -246,7 +246,11 @@ impl FrameSender for SimSender {
         };
         if dropped {
             // Silent loss is the whole point of a lossy link.
+            crate::instrument::SIM_FRAMES_DROPPED.inc();
             return Ok(());
+        }
+        if duplicated {
+            crate::instrument::SIM_FRAMES_DUPLICATED.inc();
         }
         let now = Instant::now();
         let mut queue = self.shared.queue.lock();

@@ -1,0 +1,21 @@
+//! Authorization-token accounting on the global metrics registry.
+//!
+//! Tokens are minted and verified at several layers (entities,
+//! brokers, trackers), so the counts live on
+//! [`nb_metrics::global`] rather than on any one component. Names are
+//! catalogued in `docs/OBSERVABILITY.md` under the `token.*` family.
+
+use std::sync::LazyLock;
+
+use nb_metrics::Counter;
+
+macro_rules! token_counter {
+    ($static_name:ident, $metric:literal) => {
+        pub(crate) static $static_name: LazyLock<Counter> =
+            LazyLock::new(|| nb_metrics::global().counter($metric));
+    };
+}
+
+token_counter!(TOKENS_MINTED, "token.minted");
+token_counter!(TOKENS_VERIFIED, "token.verify.ok");
+token_counter!(TOKENS_REJECTED, "token.verify.rejected");

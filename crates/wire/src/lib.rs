@@ -18,6 +18,7 @@
 pub mod codec;
 pub mod constrained;
 pub mod error;
+mod instrument;
 pub mod message;
 pub mod payload;
 pub mod token;

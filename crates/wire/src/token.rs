@@ -12,6 +12,7 @@
 
 use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::error::WireError;
+use crate::instrument;
 use crate::Result;
 use nb_crypto::cert::Credential;
 use nb_crypto::digest::DigestAlgorithm;
@@ -96,6 +97,7 @@ impl AuthorizationToken {
         token.signature = owner
             .private_key
             .sign(DigestAlgorithm::Sha1, &token.tbs_bytes())?;
+        instrument::TOKENS_MINTED.inc();
         Ok(token)
     }
 
@@ -113,6 +115,21 @@ impl AuthorizationToken {
     /// Full verification: owner signature, rights, and validity window
     /// (with `skew_ms` tolerance on both edges).
     pub fn verify(
+        &self,
+        owner_key: &RsaPublicKey,
+        expected_rights: Rights,
+        now_ms: u64,
+        skew_ms: u64,
+    ) -> Result<()> {
+        let outcome = self.verify_inner(owner_key, expected_rights, now_ms, skew_ms);
+        match &outcome {
+            Ok(()) => instrument::TOKENS_VERIFIED.inc(),
+            Err(_) => instrument::TOKENS_REJECTED.inc(),
+        }
+        outcome
+    }
+
+    fn verify_inner(
         &self,
         owner_key: &RsaPublicKey,
         expected_rights: Rights,

@@ -50,13 +50,31 @@
 //! # let _ = entity;
 //! ```
 //!
+//! ## Observability
+//!
+//! Every layer is instrumented with the zero-dependency [`metrics`]
+//! crate. A running [`prelude::Deployment`] merges all of it into one
+//! snapshot (see `docs/OBSERVABILITY.md` for the metric catalogue):
+//!
+//! ```
+//! use entity_tracing::metrics::Registry;
+//!
+//! let registry = Registry::new();
+//! registry.counter("demo.events").add(3);
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("demo.events"), Some(3));
+//! println!("{}", snapshot.to_table());
+//! ```
+//!
 //! See the crate-level documentation of the member crates for each
 //! subsystem: [`nb_crypto`], [`nb_wire`], [`nb_transport`],
-//! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`].
+//! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`],
+//! [`nb_metrics`].
 
 pub use nb_baseline as baseline;
 pub use nb_broker as broker;
 pub use nb_crypto as crypto;
+pub use nb_metrics as metrics;
 pub use nb_tdn as tdn;
 pub use nb_tracing as tracing;
 pub use nb_transport as transport;
@@ -67,6 +85,7 @@ pub mod prelude {
     pub use nb_broker::{Broker, BrokerClient, BrokerConfig};
     pub use nb_crypto::cert::{CertificateAuthority, Credential, Validity};
     pub use nb_crypto::Uuid;
+    pub use nb_metrics::{Registry, Snapshot};
     pub use nb_tdn::TdnCluster;
     pub use nb_tracing::config::{SigningMode, TracingConfig};
     pub use nb_tracing::harness::{Deployment, Topology};

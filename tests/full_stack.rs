@@ -274,6 +274,76 @@ fn many_entities_many_trackers_cross_broker() {
 }
 
 #[test]
+fn metrics_snapshot_covers_every_layer() {
+    let deployment = Deployment::new(
+        Topology::Chain(2),
+        LinkConfig::instant(),
+        system_clock(),
+        fast_config(),
+    )
+    .unwrap();
+    let entity = deployment
+        .traced_entity(
+            0,
+            "metered-svc",
+            DiscoveryRestrictions::Open,
+            Mode::RsaSign,
+            false,
+        )
+        .unwrap();
+    let tracker = deployment
+        .tracker(
+            1,
+            "metered-watcher",
+            "metered-svc",
+            vec![TraceCategory::ChangeNotifications, TraceCategory::AllUpdates],
+        )
+        .unwrap();
+    assert!(wait_until(WAIT, || {
+        tracker.view().status("metered-svc") == Some(EntityStatus::Available)
+    }));
+    assert!(wait_until(WAIT, || entity.pings_answered() >= 2));
+
+    let snapshot = deployment.metrics_snapshot();
+
+    // Broker layer: the home broker accepted the entity's publishes and
+    // delivered to local consumers; the trace topic shows up in the
+    // per-family counters.
+    assert!(snapshot.counter("broker-0.broker.publish.accepted").unwrap() > 0);
+    assert!(snapshot.counter("broker-0.broker.deliver.local").unwrap() > 0);
+    assert!(snapshot.counter_sum("broker-0.broker.publish.topic.") > 0);
+
+    // Tracing engine layer: pings flowed, traces were published, and a
+    // session is live at broker 0.
+    assert!(snapshot.counter("broker-0.tracing.pings.sent").unwrap() > 0);
+    assert!(snapshot.counter("broker-0.tracing.traces.published").unwrap() > 0);
+    assert_eq!(snapshot.gauge("broker-0.tracing.sessions"), Some(1));
+
+    // TDN layer: the entity created its trace topic at one member and
+    // the cluster replicated it; the tracker ran a discovery query.
+    assert!(snapshot.counter_sum("tdn-0.tdn.topics.created") + snapshot.counter_sum("tdn-1.tdn.topics.created") > 0);
+    assert!(snapshot.counter_sum("tdn-0.tdn.discovery.queries") > 0 || snapshot.counter_sum("tdn-1.tdn.discovery.queries") > 0 || snapshot.counter_sum("tdn-2.tdn.discovery.queries") > 0);
+
+    // Process-wide layers (shared with concurrently running tests, so
+    // only direction is asserted): transport moved frames, tokens were
+    // minted and verified, RSA signing ran.
+    assert!(snapshot.counter("transport.frames.sent").unwrap() > 0);
+    assert!(snapshot.counter("transport.bytes.sent").unwrap() > 0);
+    assert!(snapshot.counter("token.minted").unwrap() > 0);
+    assert!(snapshot.counter("token.verify.ok").unwrap() > 0);
+    let sign = snapshot.histogram("crypto.rsa.sign_us").expect("rsa sign timings");
+    assert!(sign.count > 0);
+
+    // The rendered forms carry every entry.
+    let table = snapshot.to_table();
+    let dump = snapshot.to_dump();
+    for needle in ["broker-0.broker.publish.accepted", "crypto.rsa.sign_us"] {
+        assert!(table.contains(needle), "table missing {needle}");
+        assert!(dump.contains(needle), "dump missing {needle}");
+    }
+}
+
+#[test]
 fn broker_discovery_selects_a_valid_broker() {
     let deployment = Deployment::new(
         Topology::Chain(3),
