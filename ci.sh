@@ -30,6 +30,12 @@ if ! $quick; then
 
     echo "== docs (strict) =="
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+    # Causal-tracing smoke: drives a secured 3-broker deployment and
+    # asserts (inside the binary) that the exports are non-empty and at
+    # least one trace covers the complete publish→hop2→apply chain.
+    echo "== trace report (smoke) =="
+    cargo run --release -p nb-bench --bin trace_report -- --smoke
 fi
 
 echo "CI OK"

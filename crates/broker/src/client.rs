@@ -11,6 +11,7 @@
 
 use crate::error::BrokerError;
 use crate::Result;
+use nb_telemetry::TraceContext;
 use nb_transport::clock::SharedClock;
 use nb_transport::endpoint::Endpoint;
 use nb_transport::TransportError;
@@ -149,6 +150,21 @@ impl BrokerClient {
     /// message id.
     pub fn publish(&self, topic: Topic, payload: Payload) -> Result<u64> {
         let msg = self.make_message(topic, payload);
+        let id = msg.id;
+        self.endpoint.send(&msg.to_bytes())?;
+        Ok(id)
+    }
+
+    /// Publishes a payload carrying a causal trace context, so brokers
+    /// along the path record spans (when sampled) and enforce the
+    /// hop-count TTL. Returns the message id.
+    pub fn publish_traced(
+        &self,
+        topic: Topic,
+        payload: Payload,
+        trace: TraceContext,
+    ) -> Result<u64> {
+        let msg = self.make_message(topic, payload).with_trace(trace);
         let id = msg.id;
         self.endpoint.send(&msg.to_bytes())?;
         Ok(id)

@@ -21,7 +21,15 @@
 //! Topology note: subscription propagation assumes an acyclic broker
 //! mesh (chains, stars, trees — the shapes used in the paper's
 //! benchmarks). Cycles would need a spanning-tree protocol, which the
-//! paper does not describe.
+//! paper does not describe; as a backstop, messages carrying a causal
+//! trace context are TTL-checked against `BrokerConfig::max_hops`, so
+//! an accidental loop drops traffic (counted in
+//! `broker.drop.ttl_exceeded`) instead of amplifying it forever.
+//!
+//! Routing is also instrumented for causal tracing: brokers record
+//! auth/route/deliver/enqueue/forward spans for sampled messages into
+//! a per-instance `nb_telemetry::FlightRecorder` (see
+//! `docs/OBSERVABILITY.md`, "Causal tracing").
 
 pub mod client;
 pub mod discovery;

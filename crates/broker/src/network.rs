@@ -9,6 +9,7 @@
 use crate::client::BrokerClient;
 use crate::node::{Broker, BrokerConfig};
 use crate::Result;
+use nb_telemetry::NodeSpans;
 use nb_transport::clock::SharedClock;
 use nb_transport::endpoint::Endpoint;
 use nb_transport::sim::{LinkConfig, SimNetwork};
@@ -185,6 +186,15 @@ impl BrokerNetwork {
             self.clock.clone(),
             Duration::from_secs(5),
         )
+    }
+
+    /// Captures every broker's flight recorder, in broker order —
+    /// ready for `nb_telemetry::json_lines` / `chrome_trace`.
+    pub fn telemetry_spans(&self) -> Vec<NodeSpans> {
+        self.brokers
+            .iter()
+            .map(|b| NodeSpans::capture(b.flight_recorder()))
+            .collect()
     }
 
     /// Waits until every broker has registered its expected

@@ -8,6 +8,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
 use nb_metrics::{Counter, Gauge, Registry, Snapshot};
+use nb_telemetry::{now_ns, FlightRecorder, SpanEvent, Stage, TelemetryConfig};
 use nb_transport::clock::SharedClock;
 use nb_transport::endpoint::{Endpoint, FrameSender};
 use nb_wire::codec::{Decode, Encode};
@@ -35,6 +36,15 @@ pub struct BrokerConfig {
     /// neighbour, repairing adverts lost on unreliable links. `None`
     /// disables the refresher.
     pub advert_refresh: Option<std::time::Duration>,
+    /// Routing TTL: a message whose `TraceContext.hop_count` exceeds
+    /// this after a neighbour-ingress increment is dropped (and
+    /// counted in `broker.drop.ttl_exceeded`) instead of forwarded,
+    /// closing the forwarding-loop hazard. Messages without a trace
+    /// context are not TTL-checked.
+    pub max_hops: u8,
+    /// Causal-tracing knobs for this broker's flight recorder (see
+    /// `docs/OBSERVABILITY.md`, "Causal tracing").
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for BrokerConfig {
@@ -44,6 +54,8 @@ impl Default for BrokerConfig {
             token_skew_ms: 100,
             require_tokens: true,
             advert_refresh: Some(std::time::Duration::from_millis(500)),
+            max_hops: 16,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -67,10 +79,15 @@ struct BrokerMetrics {
     rejected: Counter,
     /// Spurious traces dropped for missing/invalid tokens (§5.2).
     dropped_spurious: Counter,
+    /// Messages dropped because their hop count exceeded
+    /// [`BrokerConfig::max_hops`].
+    dropped_ttl: Counter,
     /// Clients disconnected for repeated bogus attempts.
     terminated_clients: Counter,
     /// Condvar wake-ups inside [`Broker::wait_for_neighbors`].
     neighbor_wait_wakeups: Counter,
+    /// Condvar wake-ups inside [`Broker::wait_for_remote_subscription`].
+    subscription_wait_wakeups: Counter,
     clients: Gauge,
     neighbors: Gauge,
     subs_local: Gauge,
@@ -87,8 +104,10 @@ impl BrokerMetrics {
             forwarded: registry.counter("broker.forward.neighbor"),
             rejected: registry.counter("broker.reject.constraint"),
             dropped_spurious: registry.counter("broker.drop.spurious_token"),
+            dropped_ttl: registry.counter("broker.drop.ttl_exceeded"),
             terminated_clients: registry.counter("broker.client.terminated"),
             neighbor_wait_wakeups: registry.counter("broker.neighbor_wait.wakeups"),
+            subscription_wait_wakeups: registry.counter("broker.subscription_wait.wakeups"),
             clients: registry.gauge("broker.clients"),
             neighbors: registry.gauge("broker.neighbors"),
             subs_local: registry.gauge("broker.subscriptions.local"),
@@ -140,6 +159,9 @@ pub struct StatsSnapshot {
     /// Trace publications dropped for a missing, expired or forged
     /// token (`broker.drop.spurious_token`).
     pub dropped_spurious: u64,
+    /// Messages dropped by the hop-count TTL
+    /// (`broker.drop.ttl_exceeded`).
+    pub dropped_ttl: u64,
     /// Clients disconnected by DoS containment (`broker.client.terminated`).
     pub terminated_clients: u64,
 }
@@ -169,7 +191,12 @@ struct Inner {
     /// Notified whenever the neighbour table changes (see
     /// [`Broker::wait_for_neighbors`]).
     neighbor_cv: Condvar,
+    /// Notified whenever the subscription table gains an entry (see
+    /// [`Broker::wait_for_remote_subscription`]).
+    subs_cv: Condvar,
     metrics: BrokerMetrics,
+    /// Per-broker causal-tracing span ring.
+    recorder: FlightRecorder,
     msg_seq: AtomicU64,
 }
 
@@ -190,9 +217,11 @@ pub struct Broker {
 impl Broker {
     /// Creates a broker with the given identifier and clock.
     pub fn new(id: impl Into<String>, clock: SharedClock, config: BrokerConfig) -> Self {
+        let id = id.into();
+        let recorder = FlightRecorder::new(id.clone(), config.telemetry.capacity);
         let broker = Broker {
             inner: Arc::new(Inner {
-                id: id.into(),
+                id,
                 clock,
                 config,
                 state: Mutex::new(State {
@@ -204,7 +233,9 @@ impl Broker {
                     hello_replied_ms: HashMap::new(),
                 }),
                 neighbor_cv: Condvar::new(),
+                subs_cv: Condvar::new(),
                 metrics: BrokerMetrics::new(),
+                recorder,
                 msg_seq: AtomicU64::new(1),
             }),
         };
@@ -236,8 +267,15 @@ impl Broker {
             forwarded: m.forwarded.get(),
             rejected: m.rejected.get(),
             dropped_spurious: m.dropped_spurious.get(),
+            dropped_ttl: m.dropped_ttl.get(),
             terminated_clients: m.terminated_clients.get(),
         }
+    }
+
+    /// This broker's causal-tracing flight recorder. Snapshot it (or
+    /// wrap it in `nb_telemetry::NodeSpans::capture`) to export spans.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// Captures every `broker.*` metric of this node: routing
@@ -281,6 +319,34 @@ impl Broker {
                 .neighbor_cv
                 .wait_for(&mut state, deadline.duration_since(now));
             self.inner.metrics.neighbor_wait_wakeups.inc();
+        }
+    }
+
+    /// Blocks until a neighbouring broker has advertised exactly
+    /// `filter`, or `timeout` elapses. Returns whether the advert
+    /// arrived.
+    ///
+    /// Same event-driven shape as [`Broker::wait_for_neighbors`]:
+    /// subscription registrations signal a condition variable, so this
+    /// observes propagation deterministically instead of sleeping and
+    /// hoping — the fix for the seed-era
+    /// `stats_track_publish_deliver_forward` flake. Wake-ups are
+    /// counted in `broker.subscription_wait.wakeups`.
+    pub fn wait_for_remote_subscription(&self, filter: &Topic, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock();
+        loop {
+            if state.subs.remote_holds(filter) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner
+                .subs_cv
+                .wait_for(&mut state, deadline.duration_since(now));
+            self.inner.metrics.subscription_wait_wakeups.inc();
         }
     }
 
@@ -384,6 +450,7 @@ impl Broker {
             };
             (fresh, neighbors)
         };
+        self.inner.subs_cv.notify_all();
         if fresh {
             let msg = self.control_message(Payload::NeighborSubscribe { filter });
             let frame = msg.to_bytes();
@@ -453,7 +520,29 @@ fn token_acceptable(inner: &Inner, msg: &Message, constrained: &ConstrainedTopic
     }
 }
 
-fn route(inner: &Inner, msg: Message, origin: Origin) {
+fn route(inner: &Inner, mut msg: Message, origin: Origin) {
+    // Hop accounting: every neighbour ingress is one broker-to-broker
+    // hop. The hop count doubles as a routing TTL closing the
+    // forwarding-loop hazard — a message bouncing between brokers is
+    // dropped here once it exceeds the bound.
+    if matches!(origin, Origin::Neighbor(_)) {
+        if let Some(ctx) = &mut msg.trace {
+            ctx.hop_count = ctx.hop_count.saturating_add(1);
+            if ctx.hop_count > inner.config.max_hops {
+                inner.metrics.dropped_ttl.inc();
+                return;
+            }
+        }
+    }
+    // The sampled-trace guard: everything tracing-related below is
+    // behind this, so unsampled messages pay only this check.
+    let traced = if inner.config.telemetry.enabled {
+        msg.trace.filter(|c| c.sampled)
+    } else {
+        None
+    };
+    let t_accept = if traced.is_some() { now_ns() } else { 0 };
+
     let constrained = match ConstrainedTopic::parse(&msg.topic) {
         Ok(c) => c,
         Err(_) => {
@@ -496,6 +585,15 @@ fn route(inner: &Inner, msg: Message, origin: Origin) {
         }
         inner.metrics.published.inc();
         inner.metrics.published_for(&family).inc();
+    }
+
+    // Enforcement is done: the span from ingress to here is the
+    // auth-check cost (constraint parse + permits + token checks).
+    let t_auth_end = if traced.is_some() { now_ns() } else { 0 };
+    if let Some(ctx) = &traced {
+        inner
+            .recorder
+            .record(SpanEvent::new(ctx, Stage::AuthCheck, t_accept, t_auth_end));
     }
 
     // Distribution suppression: the constrainer's publishes stay local
@@ -542,23 +640,64 @@ fn route(inner: &Inner, msg: Message, origin: Origin) {
         (client_senders, internal_senders, neighbor_senders)
     };
 
+    // Subscription matching + recipient collection is the routing cost.
+    let t_route_end = if traced.is_some() { now_ns() } else { 0 };
+    if let Some(ctx) = &traced {
+        inner
+            .recorder
+            .record(SpanEvent::new(ctx, Stage::Route, t_auth_end, t_route_end));
+    }
+
+    // Tail sampling: an unsampled message that has already spent more
+    // than the slow threshold end-to-end gets its terminal spans
+    // recorded anyway, so slow outliers are never invisible.
+    let deliver_ctx = if traced.is_some() {
+        traced
+    } else if inner.config.telemetry.enabled
+        && msg.trace.is_some()
+        && inner.clock.now_ms().saturating_sub(msg.timestamp_ms)
+            >= inner.config.telemetry.slow_threshold_ms
+    {
+        msg.trace
+    } else {
+        None
+    };
+
     let frame = msg.to_bytes();
     let delivered_family = inner.metrics.delivered_for(&family);
     for sender in &client_senders {
+        let t0 = if deliver_ctx.is_some() { now_ns() } else { 0 };
         if sender.send_frame(&frame).is_ok() {
             inner.metrics.delivered_local.inc();
             delivered_family.inc();
+            if let Some(ctx) = &deliver_ctx {
+                inner
+                    .recorder
+                    .record(SpanEvent::new(ctx, Stage::Deliver, t0, now_ns()));
+            }
         }
     }
     for tx in &internal_senders {
+        let t0 = if deliver_ctx.is_some() { now_ns() } else { 0 };
         if tx.send(msg.clone()).is_ok() {
             inner.metrics.delivered_local.inc();
             delivered_family.inc();
+            if let Some(ctx) = &deliver_ctx {
+                inner
+                    .recorder
+                    .record(SpanEvent::new(ctx, Stage::Enqueue, t0, now_ns()));
+            }
         }
     }
     for sender in &neighbor_senders {
+        let t0 = if traced.is_some() { now_ns() } else { 0 };
         if sender.send_frame(&frame).is_ok() {
             inner.metrics.forwarded.inc();
+            if let Some(ctx) = &traced {
+                inner
+                    .recorder
+                    .record(SpanEvent::new(ctx, Stage::Forward, t0, now_ns()));
+            }
         }
     }
 }
@@ -869,6 +1008,7 @@ fn handle_neighbor_message(inner: &Arc<Inner>, peer_id: &str, msg: Message) {
                     };
                     (fresh, others)
                 };
+                inner.subs_cv.notify_all();
                 if fresh {
                     let frame = msg.to_bytes();
                     for s in others {

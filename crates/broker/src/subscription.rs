@@ -89,6 +89,13 @@ impl SubscriptionTable {
         self.remote.remove(neighbor);
     }
 
+    /// Whether any neighbour has advertised exactly `filter`. Used by
+    /// `Broker::wait_for_remote_subscription` to make subscription
+    /// propagation observable without polling.
+    pub fn remote_holds(&self, filter: &Topic) -> bool {
+        self.remote.values().any(|fs| fs.contains(filter))
+    }
+
     /// Local consumers whose filters match `topic`.
     pub fn local_matches(&self, topic: &Topic) -> Vec<String> {
         self.local
@@ -235,6 +242,17 @@ mod tests {
         table.add_remote("b2", t("/A"));
         table.remove_neighbor("b2");
         assert!(table.remote_matches(&t("/A")).is_empty());
+    }
+
+    #[test]
+    fn remote_holds_sees_only_neighbour_adverts() {
+        let mut table = SubscriptionTable::new();
+        table.add_local("c1", t("/A"), false);
+        assert!(!table.remote_holds(&t("/A"))); // local interest only
+        table.add_remote("b2", t("/A"));
+        assert!(table.remote_holds(&t("/A")));
+        table.remove_remote("b2", &t("/A"));
+        assert!(!table.remote_holds(&t("/A")));
     }
 
     #[test]

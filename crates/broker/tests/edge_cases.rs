@@ -81,7 +81,12 @@ fn stats_track_publish_deliver_forward() {
     let remote_sub = net.attach_client(1, "rs").unwrap();
     local_sub.subscribe(t("/Stat/Topic"), TIMEOUT).unwrap();
     remote_sub.subscribe(t("/Stat/Topic"), TIMEOUT).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
+    // Forwarding to broker 1 requires remote_sub's advert to have
+    // propagated back to broker 0. Wait on the broker's subscription
+    // condvar instead of sleeping — deterministic, not a race.
+    assert!(net
+        .broker(0)
+        .wait_for_remote_subscription(&t("/Stat/Topic"), TIMEOUT));
 
     for _ in 0..5 {
         publisher

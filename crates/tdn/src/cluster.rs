@@ -146,6 +146,15 @@ impl TdnCluster {
             .map(|m| m.tdn.public_key())
     }
 
+    /// Captures every member's causal-tracing flight recorder, in
+    /// member order — ready for the `nb_telemetry` exporters.
+    pub fn telemetry_spans(&self) -> Vec<nb_telemetry::NodeSpans> {
+        self.members
+            .iter()
+            .map(|m| nb_telemetry::NodeSpans::capture(m.tdn.flight_recorder()))
+            .collect()
+    }
+
     /// Captures every member's `tdn.*` metrics, namespaced by TDN id.
     pub fn metrics_snapshot(&self) -> nb_metrics::Snapshot {
         self.members

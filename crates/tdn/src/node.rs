@@ -7,6 +7,7 @@ use nb_crypto::digest::DigestAlgorithm;
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::{CryptoError, Uuid};
 use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use nb_telemetry::{fresh_span_id, now_ns, FlightRecorder, SpanEvent, Stage, TraceContext};
 use nb_transport::clock::SharedClock;
 use nb_wire::payload::{DiscoveryRestrictions, TopicAdvertisement};
 use parking_lot::Mutex;
@@ -83,8 +84,17 @@ pub struct Tdn {
     clock: SharedClock,
     store: Mutex<Store>,
     metrics: TdnMetrics,
+    /// Causal-tracing span ring for the discovery control plane.
+    /// TDN operations are rare (topic creation, discovery,
+    /// replication), so they are always recorded, each as the root of
+    /// its own one-span trace.
+    recorder: FlightRecorder,
     rng: Mutex<StdRng>,
 }
+
+/// Ring capacity for the TDN control-plane recorder. Operations are
+/// orders of magnitude rarer than data-plane messages.
+const TDN_RECORDER_CAPACITY: usize = 1024;
 
 impl Tdn {
     /// Creates a TDN with its own credential and the CA key used to
@@ -96,8 +106,10 @@ impl Tdn {
         clock: SharedClock,
         seed: u64,
     ) -> Self {
+        let id = id.into();
+        let recorder = FlightRecorder::new(id.clone(), TDN_RECORDER_CAPACITY);
         Tdn {
-            id: id.into(),
+            id,
             credential,
             ca_key,
             clock,
@@ -106,8 +118,23 @@ impl Tdn {
                 peer_keys: HashMap::new(),
             }),
             metrics: TdnMetrics::new(),
+            recorder,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
+    }
+
+    /// This TDN's causal-tracing flight recorder (one root span per
+    /// create/discover/replicate operation).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Records a control-plane operation as the single span of a fresh
+    /// trace.
+    fn record_op(&self, stage: Stage, start_ns: u64) {
+        let ctx = TraceContext::root(fresh_span_id(), true);
+        self.recorder
+            .record(SpanEvent::new(&ctx, stage, start_ns, now_ns()));
     }
 
     /// This TDN's identifier.
@@ -137,6 +164,7 @@ impl Tdn {
         restrictions: DiscoveryRestrictions,
         lifetime_ms: u64,
     ) -> Result<TopicAdvertisement> {
+        let t0 = now_ns();
         let now = self.clock.now_ms();
         credentials
             .verify(&self.ca_key, now)
@@ -163,12 +191,14 @@ impl Tdn {
             .adverts
             .insert(advert.topic_id, advert.clone());
         self.metrics.topics_created.inc();
+        self.record_op(Stage::TdnCreate, t0);
         Ok(advert)
     }
 
     /// Accepts a replica from a peer TDN, verifying the peer's
     /// signature before storing.
     pub fn replicate(&self, advert: TopicAdvertisement) -> Result<()> {
+        let t0 = now_ns();
         let peer_key = {
             let store = self.store.lock();
             store.peer_keys.get(&advert.tdn_id).cloned()
@@ -190,6 +220,7 @@ impl Tdn {
             .record(self.clock.now_ms().saturating_sub(advert.created_ms));
         self.store.lock().adverts.insert(advert.topic_id, advert);
         self.metrics.replicas_accepted.inc();
+        self.record_op(Stage::TdnReplicate, t0);
         Ok(())
     }
 
@@ -198,21 +229,27 @@ impl Tdn {
     /// paper's TDN silently ignores them rather than revealing that a
     /// matching topic exists.
     pub fn discover(&self, query: &str, credentials: &Certificate) -> Vec<TopicAdvertisement> {
+        let t0 = now_ns();
         self.metrics.discovery_queries.inc();
         let now = self.clock.now_ms();
-        if credentials.verify(&self.ca_key, now).is_err() {
+        let matches = if credentials.verify(&self.ca_key, now).is_err() {
             self.metrics.discovery_denied.inc();
-            return Vec::new();
-        }
-        let store = self.store.lock();
-        store
-            .adverts
-            .values()
-            .filter(|a| !a.is_expired(now))
-            .filter(|a| matches_descriptor(query, &a.descriptor))
-            .filter(|a| a.restrictions.permits(credentials))
-            .cloned()
-            .collect()
+            Vec::new()
+        } else {
+            let store = self.store.lock();
+            store
+                .adverts
+                .values()
+                .filter(|a| !a.is_expired(now))
+                .filter(|a| matches_descriptor(query, &a.descriptor))
+                .filter(|a| a.restrictions.permits(credentials))
+                .cloned()
+                .collect()
+        };
+        // Denied queries are recorded too — the span's duration shows
+        // the cost of the (failed) certificate check.
+        self.record_op(Stage::TdnDiscover, t0);
+        matches
     }
 
     /// Looks up an advertisement by topic id (no restriction check —

@@ -1,0 +1,169 @@
+//! Exporters: render captured spans as JSON-lines or Chrome
+//! `trace_event` JSON. Both are hand-rolled (no serde) and meant for
+//! offline analysis, so they run off the hot path and may allocate.
+
+use crate::recorder::{FlightRecorder, SpanEvent};
+
+/// Spans captured from one node's flight recorder, tagged with the
+/// node's name so multi-node exports stay attributable.
+#[derive(Debug, Clone)]
+pub struct NodeSpans {
+    /// Node the spans were recorded on (broker/engine/tracker/TDN id).
+    pub node: String,
+    /// The captured spans, sorted by start time.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl NodeSpans {
+    /// Snapshots `recorder` into an owned, exportable capture.
+    pub fn capture(recorder: &FlightRecorder) -> Self {
+        Self {
+            node: recorder.node().to_string(),
+            spans: recorder.snapshot(),
+        }
+    }
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders captures as JSON-lines: one self-contained JSON object per
+/// span, trace ids as 32-digit hex. Grep/jq-friendly.
+pub fn json_lines(captures: &[NodeSpans]) -> String {
+    let mut out = String::new();
+    for cap in captures {
+        let node = esc(&cap.node);
+        for e in &cap.spans {
+            out.push_str(&format!(
+                "{{\"node\":\"{}\",\"trace\":\"{:032x}\",\"span\":{},\"parent\":{},\
+                 \"hop\":{},\"stage\":\"{}\",\"cat\":\"{}\",\"start_ns\":{},\
+                 \"end_ns\":{},\"dur_ns\":{}}}\n",
+                node,
+                e.trace_id,
+                e.span_id,
+                e.parent_span,
+                e.hop,
+                e.stage.name(),
+                e.stage.category(),
+                e.start_ns,
+                e.end_ns,
+                e.dur_ns(),
+            ));
+        }
+    }
+    out
+}
+
+/// Renders captures in Chrome `trace_event` JSON (load it in
+/// `chrome://tracing` or Perfetto). Each node becomes a process
+/// (`ph:"M"` `process_name` metadata), each span a complete `ph:"X"`
+/// duration event; timestamps are microseconds on the shared monotonic
+/// timebase, thread lane = hop count.
+pub fn chrome_trace(captures: &[NodeSpans]) -> String {
+    let mut events = Vec::new();
+    for (pid, cap) in captures.iter().enumerate() {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{},\"name\":\"process_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            esc(&cap.node)
+        ));
+        for e in &cap.spans {
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{},\"tid\":{},\"name\":\"{}\",\"cat\":\"{}\",\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"trace\":\"{:032x}\",\
+                 \"span\":{},\"parent\":{},\"hop\":{}}}}}",
+                pid,
+                e.hop,
+                e.stage.name(),
+                e.stage.category(),
+                e.start_ns as f64 / 1_000.0,
+                e.dur_ns() as f64 / 1_000.0,
+                e.trace_id,
+                e.span_id,
+                e.parent_span,
+                e.hop,
+            ));
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TraceContext;
+    use crate::recorder::Stage;
+
+    fn sample_capture() -> NodeSpans {
+        let rec = FlightRecorder::new("broker-0", 16);
+        let ctx = TraceContext::root(0, true);
+        rec.record(SpanEvent::new(&ctx, Stage::AuthCheck, 1_000, 2_000));
+        rec.record(SpanEvent::new(&ctx, Stage::Route, 2_000, 2_500));
+        NodeSpans::capture(&rec)
+    }
+
+    #[test]
+    fn json_lines_one_object_per_span() {
+        let cap = sample_capture();
+        let out = json_lines(&[cap]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains("\"node\":\"broker-0\""));
+        }
+        assert!(lines[0].contains("\"stage\":\"auth\""));
+        assert!(lines[0].contains("\"dur_ns\":1000"));
+        assert!(lines[1].contains("\"stage\":\"route\""));
+    }
+
+    #[test]
+    fn chrome_trace_has_metadata_and_duration_events() {
+        let cap = sample_capture();
+        let out = chrome_trace(&[cap]);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"M\""));
+        assert!(out.contains("\"name\":\"broker-0\""));
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ts\":1.000"));
+        assert!(out.contains("\"dur\":1.000"));
+        assert!(out.contains("\"cat\":\"broker\""));
+        // Balanced braces — cheap structural sanity for hand-rolled JSON.
+        let open = out.matches('{').count();
+        let close = out.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_capture_renders_empty_but_valid() {
+        let rec = FlightRecorder::new("idle", 16);
+        let cap = NodeSpans::capture(&rec);
+        assert_eq!(json_lines(std::slice::from_ref(&cap)), "");
+        let chrome = chrome_trace(&[cap]);
+        assert!(chrome.contains("\"name\":\"idle\""));
+    }
+
+    #[test]
+    fn escapes_hostile_node_names() {
+        let rec = FlightRecorder::new("evil\"\\node", 16);
+        let ctx = TraceContext::root(0, true);
+        rec.record(SpanEvent::new(&ctx, Stage::Accept, 0, 1));
+        let out = json_lines(&[NodeSpans::capture(&rec)]);
+        assert!(out.contains("evil\\\"\\\\node"));
+    }
+}

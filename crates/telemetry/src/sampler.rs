@@ -1,0 +1,114 @@
+//! Sampling knobs: head sampling at publish, tail thresholds for slow
+//! traces, and the `TelemetryConfig` that carries both.
+
+use crate::context::mix64;
+
+/// Tuning knobs for the causal tracing layer.
+///
+/// Carried by `TracingConfig` and `BrokerConfig` so one struct
+/// configures every recorder in a deployment. All knobs have safe
+/// defaults: tracing enabled, nothing head-sampled (zero hot-path
+/// cost), tail sampling only for outliers slower than one second.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch. When `false` no context is attached at publish
+    /// and recorders drop everything.
+    pub enabled: bool,
+    /// Head-sampling rate in parts-per-million of published messages
+    /// (`1_000_000` = trace everything, `0` = trace nothing).
+    pub sample_ppm: u32,
+    /// Tail-sampling threshold: an *unsampled* message whose observed
+    /// end-to-end latency meets or exceeds this records a terminal
+    /// marker span anyway, so slow outliers are never invisible.
+    pub slow_threshold_ms: u64,
+    /// Flight-recorder capacity in spans per node (rounded up to a
+    /// power of two, minimum 16). Oldest spans are overwritten.
+    pub capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            sample_ppm: 0,
+            slow_threshold_ms: 1_000,
+            capacity: 4_096,
+        }
+    }
+}
+
+/// Deterministic head sampler: hashes the trace id against a
+/// parts-per-million threshold, so every node in a deployment makes the
+/// same decision for the same trace without coordination.
+#[derive(Debug, Clone, Copy)]
+pub struct HeadSampler {
+    ppm: u32,
+}
+
+impl HeadSampler {
+    /// Sampler keeping roughly `ppm` per million traces.
+    pub fn new(ppm: u32) -> Self {
+        Self { ppm }
+    }
+
+    /// Sampler configured from `cfg` (disabled config ⇒ keep nothing).
+    pub fn from_config(cfg: &TelemetryConfig) -> Self {
+        Self::new(if cfg.enabled { cfg.sample_ppm } else { 0 })
+    }
+
+    /// Whether the trace with this id should be head-sampled.
+    pub fn decide(&self, trace_id: u128) -> bool {
+        if self.ppm == 0 {
+            return false;
+        }
+        if self.ppm >= 1_000_000 {
+            return true;
+        }
+        let folded = (trace_id as u64) ^ ((trace_id >> 64) as u64);
+        mix64(folded) % 1_000_000 < u64::from(self.ppm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::fresh_trace_id;
+
+    #[test]
+    fn zero_keeps_nothing_full_keeps_everything() {
+        let none = HeadSampler::new(0);
+        let all = HeadSampler::new(1_000_000);
+        for _ in 0..64 {
+            let id = fresh_trace_id();
+            assert!(!none.decide(id));
+            assert!(all.decide(id));
+        }
+    }
+
+    #[test]
+    fn decision_is_deterministic_per_trace() {
+        let a = HeadSampler::new(500_000);
+        let b = HeadSampler::new(500_000);
+        for _ in 0..64 {
+            let id = fresh_trace_id();
+            assert_eq!(a.decide(id), b.decide(id));
+        }
+    }
+
+    #[test]
+    fn half_rate_is_roughly_half() {
+        let s = HeadSampler::new(500_000);
+        let kept = (0..2_000).filter(|_| s.decide(fresh_trace_id())).count();
+        assert!((600..1_400).contains(&kept), "kept {kept} of 2000");
+    }
+
+    #[test]
+    fn disabled_config_keeps_nothing() {
+        let cfg = TelemetryConfig {
+            enabled: false,
+            sample_ppm: 1_000_000,
+            ..TelemetryConfig::default()
+        };
+        assert!(!HeadSampler::from_config(&cfg).decide(fresh_trace_id()));
+    }
+}

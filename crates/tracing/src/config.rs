@@ -54,6 +54,10 @@ pub struct TracingConfig {
     /// RSA modulus size for delegate key pairs and session keys.
     /// The paper uses 1024; tests may use 512 for speed.
     pub rsa_bits: usize,
+    /// Causal-tracing knobs, shared by the brokers, engines, entities
+    /// and trackers of a deployment (see `docs/OBSERVABILITY.md`,
+    /// "Causal tracing").
+    pub telemetry: nb_telemetry::TelemetryConfig,
 }
 
 impl Default for TracingConfig {
@@ -73,6 +77,7 @@ impl Default for TracingConfig {
             token_lifetime_ms: 60_000,
             token_skew_ms: 100,
             rsa_bits: 1024,
+            telemetry: nb_telemetry::TelemetryConfig::default(),
         }
     }
 }
@@ -96,6 +101,7 @@ impl TracingConfig {
             token_lifetime_ms: 60_000,
             token_skew_ms: 100,
             rsa_bits: 512,
+            telemetry: nb_telemetry::TelemetryConfig::default(),
         }
     }
 }

@@ -16,6 +16,7 @@ use nb_crypto::modes::{cbc_encrypt, ctr_transform, CipherMode};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
 use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use nb_telemetry::{now_ns, FlightRecorder, HeadSampler, SpanEvent, Stage, TraceContext};
 use nb_transport::clock::SharedClock;
 use nb_wire::codec::{Decode, Encode};
 use nb_wire::payload::{SessionGrant, TraceKeyMaterial};
@@ -140,6 +141,10 @@ struct EngineInner {
     /// trace topic → entity id (for interest responses).
     topic_index: Mutex<HashMap<Uuid, String>>,
     metrics: EngineMetrics,
+    /// Per-engine causal-tracing span ring.
+    recorder: FlightRecorder,
+    /// Head-sampling decision for engine-originated messages.
+    sampler: HeadSampler,
     stop: AtomicBool,
     rng: Mutex<StdRng>,
     consumer: String,
@@ -163,6 +168,8 @@ impl TracingEngine {
             .subscribe_internal(&consumer, topics::registration())
             .expect("engine may subscribe to the registration channel");
 
+        let recorder = FlightRecorder::new(consumer.clone(), setup.config.telemetry.capacity);
+        let sampler = HeadSampler::from_config(&setup.config.telemetry);
         let inner = Arc::new(EngineInner {
             broker: setup.broker,
             credential: setup.credential,
@@ -173,6 +180,8 @@ impl TracingEngine {
             sessions: Mutex::new(HashMap::new()),
             topic_index: Mutex::new(HashMap::new()),
             metrics: EngineMetrics::new(),
+            recorder,
+            sampler,
             stop: AtomicBool::new(false),
             rng: Mutex::new(StdRng::seed_from_u64(setup.seed)),
             consumer,
@@ -273,6 +282,12 @@ impl TracingEngine {
         }
     }
 
+    /// This engine's causal-tracing flight recorder (spans for trace
+    /// publications, pings, verdicts and consumed session messages).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
+    }
+
     /// Captures every `tracing.*` metric of this engine (the session
     /// gauge is sampled at call time).
     pub fn metrics_snapshot(&self) -> Snapshot {
@@ -284,7 +299,39 @@ impl TracingEngine {
     }
 }
 
+/// Mints a root trace context for an engine-originated message, with
+/// the head-sampling decision applied. `None` when telemetry is off.
+fn mint_trace(inner: &EngineInner) -> Option<TraceContext> {
+    if !inner.config.telemetry.enabled {
+        return None;
+    }
+    let mut ctx = TraceContext::root(nb_telemetry::fresh_span_id(), false);
+    ctx.sampled = inner.sampler.decide(ctx.trace_id);
+    Some(ctx)
+}
+
+/// Records the root span of an engine-originated message. Its span id
+/// is the context's `parent_span`, so every downstream span (broker
+/// hops, tracker apply) chains under it.
+fn record_root(inner: &EngineInner, ctx: &TraceContext, stage: Stage, start_ns: u64) {
+    inner.recorder.record(SpanEvent {
+        trace_id: ctx.trace_id,
+        span_id: ctx.parent_span,
+        parent_span: 0,
+        hop: 0,
+        stage,
+        start_ns,
+        end_ns: now_ns(),
+    });
+}
+
 fn handle_message(inner: &Arc<EngineInner>, msg: Message) {
+    let traced = if inner.config.telemetry.enabled {
+        msg.trace.filter(|c| c.sampled)
+    } else {
+        None
+    };
+    let t0 = if traced.is_some() { now_ns() } else { 0 };
     match &msg.payload {
         Payload::TraceRegistration { .. } => handle_registration(inner, &msg),
         Payload::InterestResponse { .. } => handle_interest_response(inner, &msg),
@@ -294,8 +341,22 @@ fn handle_message(inner: &Arc<EngineInner>, msg: Message) {
         | Payload::SilentModeRequest
         | Payload::DelegationToken { .. }
         | Payload::TraceKeyDelivery { .. }
-        | Payload::SymmetricKeySetup { .. } => handle_session_message(inner, msg),
+        | Payload::SymmetricKeySetup { .. } => {
+            let ctx = traced;
+            handle_session_message(inner, msg);
+            if let Some(ctx) = &ctx {
+                inner
+                    .recorder
+                    .record(SpanEvent::new(ctx, Stage::Consume, t0, now_ns()));
+            }
+            return;
+        }
         _ => {}
+    }
+    if let Some(ctx) = &traced {
+        inner
+            .recorder
+            .record(SpanEvent::new(ctx, Stage::Consume, t0, now_ns()));
     }
 }
 
@@ -736,8 +797,15 @@ fn gauge_interest(inner: &EngineInner, session: &mut Session, now: u64) {
 }
 
 /// Publishes one trace event, applying interest gating, encryption and
-/// token attachment.
-fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, now: u64) {
+/// token attachment. Returns the trace context minted for the message
+/// (so callers can chain further spans under it), or `None` when the
+/// event was gated, unpublishable or telemetry is off.
+fn publish_trace(
+    inner: &EngineInner,
+    session: &mut Session,
+    kind: TraceKind,
+    now: u64,
+) -> Option<TraceContext> {
     let category = kind.category();
     // Change notifications always flow (they are the "change
     // notifications only" service tier); the rest is interest-gated.
@@ -745,10 +813,16 @@ fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, no
         && !session.interest.wants(category);
     if gated {
         inner.metrics.traces_gated.inc();
-        return;
+        return None;
     }
     let Some(token) = session.token.clone() else {
-        return; // cannot publish without delegation (§4.3)
+        return None; // cannot publish without delegation (§4.3)
+    };
+    let ctx = mint_trace(inner);
+    let t0 = if ctx.is_some_and(|c| c.sampled) {
+        now_ns()
+    } else {
+        0
     };
     let event = TraceEvent {
         entity_id: session.entity_id.clone(),
@@ -773,13 +847,13 @@ fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, no
             };
             match encrypted {
                 Ok(ciphertext) => Payload::EncryptedTrace { iv, ciphertext },
-                Err(_) => return,
+                Err(_) => return None,
             }
         }
         None => Payload::Trace { event },
     };
 
-    let msg = Message::new(
+    let mut msg = Message::new(
         inner.broker.next_message_id(),
         topics::publication(&session.trace_topic, category),
         inner.broker.id().to_string(),
@@ -787,8 +861,17 @@ fn publish_trace(inner: &EngineInner, session: &mut Session, kind: TraceKind, no
         payload,
     )
     .with_token(token);
+    if let Some(ctx) = ctx {
+        msg = msg.with_trace(ctx);
+    }
     inner.broker.publish_internal(msg);
     inner.metrics.traces_published.inc();
+    if let Some(ctx) = ctx.filter(|c| c.sampled) {
+        // The root span covers event construction, encryption and the
+        // hand-off into the broker.
+        record_root(inner, &ctx, Stage::TracePublish, t0);
+    }
+    ctx
 }
 
 /// One scheduler pass: expire pings, emit new pings, re-gauge
@@ -801,7 +884,15 @@ fn run_tick(inner: &Arc<EngineInner>) {
         match session.detector.on_tick(now) {
             Some(DetectorEvent::Suspect) => {
                 inner.metrics.suspicions.inc();
-                publish_trace(inner, session, TraceKind::FailureSuspicion, now);
+                let t0 = now_ns();
+                if let Some(ctx) = publish_trace(inner, session, TraceKind::FailureSuspicion, now)
+                {
+                    if ctx.sampled {
+                        inner
+                            .recorder
+                            .record(SpanEvent::new(&ctx, Stage::Verdict, t0, now_ns()));
+                    }
+                }
             }
             Some(DetectorEvent::Fail) => {
                 inner.metrics.failures.inc();
@@ -811,7 +902,14 @@ fn run_tick(inner: &Arc<EngineInner>) {
                         .time_to_detect_ms
                         .record(now.saturating_sub(evidence));
                 }
-                publish_trace(inner, session, TraceKind::Failed, now);
+                let t0 = now_ns();
+                if let Some(ctx) = publish_trace(inner, session, TraceKind::Failed, now) {
+                    if ctx.sampled {
+                        inner
+                            .recorder
+                            .record(SpanEvent::new(&ctx, Stage::Verdict, t0, now_ns()));
+                    }
+                }
             }
             _ => {}
         }
@@ -823,7 +921,13 @@ fn run_tick(inner: &Arc<EngineInner>) {
             && session.detector.ping_due(now)
         {
             let seq = session.detector.on_ping_sent(now);
-            let ping = Message::new(
+            let ctx = mint_trace(inner);
+            let t0 = if ctx.is_some_and(|c| c.sampled) {
+                now_ns()
+            } else {
+                0
+            };
+            let mut ping = Message::new(
                 inner.broker.next_message_id(),
                 topics::broker_to_entity(
                     &session.entity_id,
@@ -837,8 +941,14 @@ fn run_tick(inner: &Arc<EngineInner>) {
                     sent_at_ms: now,
                 },
             );
+            if let Some(ctx) = ctx {
+                ping = ping.with_trace(ctx);
+            }
             inner.broker.publish_internal(ping);
             inner.metrics.pings_sent.inc();
+            if let Some(ctx) = ctx.filter(|c| c.sampled) {
+                record_root(inner, &ctx, Stage::PingSend, t0);
+            }
         }
 
         // Periodic interest re-gauging, plus expiry of trackers that

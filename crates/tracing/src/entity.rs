@@ -26,6 +26,7 @@ use nb_crypto::hybrid::SealedEnvelope;
 use nb_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use nb_crypto::Uuid;
 use nb_tdn::TdnCluster;
+use nb_telemetry::{HeadSampler, TraceContext};
 use nb_transport::clock::SharedClock;
 use nb_wire::codec::{Decode, Encode};
 use nb_wire::payload::{DiscoveryRestrictions, SessionGrant, TraceKeyMaterial};
@@ -77,8 +78,24 @@ struct EntityInner {
     mac_key: Mutex<Option<Vec<u8>>>,
     delegate: Mutex<RsaKeyPair>,
     rng: Mutex<StdRng>,
+    /// Head-sampling decision for entity-originated messages.
+    sampler: HeadSampler,
     stop: AtomicBool,
     pings_answered: AtomicU64,
+}
+
+impl EntityInner {
+    /// Mints a root trace context for an outgoing message, `None` when
+    /// telemetry is off. Trace contexts ride outside the signed/MACed
+    /// region, so attaching one never perturbs authentication.
+    fn mint_trace(&self) -> Option<TraceContext> {
+        if !self.config.telemetry.enabled {
+            return None;
+        }
+        let mut ctx = TraceContext::root(nb_telemetry::fresh_span_id(), false);
+        ctx.sampled = self.sampler.decide(ctx.trace_id);
+        Some(ctx)
+    }
 }
 
 /// A running traced entity.
@@ -169,6 +186,7 @@ impl TracedEntity {
 
         let session_channel = topics::entity_to_broker(&trace_topic, &session_id);
         let delegate = RsaKeyPair::generate(opts.config.rsa_bits, &mut rng)?;
+        let sampler = HeadSampler::from_config(&opts.config.telemetry);
 
         let inner = Arc::new(EntityInner {
             id: opts.entity_id,
@@ -185,6 +203,7 @@ impl TracedEntity {
             mac_key: Mutex::new(None),
             delegate: Mutex::new(delegate),
             rng: Mutex::new(rng),
+            sampler,
             stop: AtomicBool::new(false),
             pings_answered: AtomicU64::new(0),
         });
@@ -239,6 +258,9 @@ impl TracedEntity {
             .inner
             .client
             .make_message(self.inner.session_channel.clone(), payload);
+        if let Some(ctx) = self.inner.mint_trace() {
+            msg = msg.with_trace(ctx);
+        }
         authenticate_message(&self.inner, &mut msg)?;
         self.inner.client.send_message(&msg)?;
         Ok(())
@@ -405,6 +427,10 @@ impl TracedEntity {
                             state,
                         },
                     );
+                    // Return-path propagation: the response travels on
+                    // the ping's own trace so the engine's Consume span
+                    // closes the loop in one causal chain.
+                    reply.trace = msg.trace;
                     if authenticate_message(&inner, &mut reply).is_ok()
                         && inner.client.send_message(&reply).is_ok()
                     {

@@ -97,6 +97,7 @@ impl Deployment {
 
         let broker_cfg = BrokerConfig {
             token_skew_ms: config.token_skew_ms,
+            telemetry: config.telemetry.clone(),
             ..BrokerConfig::default()
         };
         let network = match topology {
@@ -184,6 +185,20 @@ impl Deployment {
             merged = merged.merge(engine.metrics_snapshot().prefixed(broker.id()));
         }
         merged.merge(self.tdns.metrics_snapshot())
+    }
+
+    /// Captures every flight recorder in the deployment — each
+    /// broker's, each engine's (named `tracing-engine@<broker>`), and
+    /// each TDN member's — ready for the `nb_telemetry` exporters.
+    /// Entity and tracker recorders live on those handles; capture and
+    /// append them separately if needed.
+    pub fn telemetry_spans(&self) -> Vec<nb_telemetry::NodeSpans> {
+        let mut spans = self.network.telemetry_spans();
+        for engine in &self.engines {
+            spans.push(nb_telemetry::NodeSpans::capture(engine.flight_recorder()));
+        }
+        spans.extend(self.tdns.telemetry_spans());
+        spans
     }
 
     /// Starts a traced entity attached to broker `idx`.

@@ -18,6 +18,7 @@ use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
 use nb_metrics::{Counter, Registry, Snapshot};
 use nb_tdn::TdnCluster;
+use nb_telemetry::{now_ns, FlightRecorder, SpanEvent, Stage, TraceContext};
 use nb_transport::clock::SharedClock;
 use nb_wire::codec::Decode;
 use nb_wire::payload::{TopicAdvertisement, TraceKeyMaterial};
@@ -79,6 +80,8 @@ struct TrackerInner {
     trace_key: Mutex<Option<(Vec<u8>, CipherMode)>>,
     view: AvailabilityView,
     metrics: TrackerMetrics,
+    /// Per-tracker causal-tracing span ring (apply/reject spans).
+    recorder: FlightRecorder,
     stop: AtomicBool,
 }
 
@@ -114,6 +117,8 @@ impl Tracker {
         client.subscribe(topics::gauge_interest(&trace_topic), timeout)?;
         client.subscribe(channels::key_delivery(&opts.tracker_id), timeout)?;
 
+        let recorder =
+            FlightRecorder::new(opts.tracker_id.clone(), opts.config.telemetry.capacity);
         let inner = Arc::new(TrackerInner {
             id: opts.tracker_id,
             credential: opts.credential,
@@ -127,6 +132,7 @@ impl Tracker {
             trace_key: Mutex::new(None),
             view: AvailabilityView::new(),
             metrics: TrackerMetrics::new(),
+            recorder,
             stop: AtomicBool::new(false),
         });
         let tracker = Tracker { inner };
@@ -172,6 +178,12 @@ impl Tracker {
     /// Captures every `tracker.*` metric of this tracker.
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.inner.metrics.registry.snapshot()
+    }
+
+    /// This tracker's causal-tracing flight recorder (terminal
+    /// apply/reject spans for sampled traces).
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.inner.recorder
     }
 
     /// Whether the sealed trace key has arrived (secured tracing).
@@ -270,7 +282,21 @@ fn token_valid(inner: &TrackerInner, msg: &Message) -> bool {
         .is_ok()
 }
 
+/// Records a terminal tracker span when the message rode a sampled
+/// trace.
+fn record_span(inner: &TrackerInner, ctx: Option<&TraceContext>, stage: Stage, t0: u64) {
+    if let Some(ctx) = ctx {
+        inner.recorder.record(SpanEvent::new(ctx, stage, t0, now_ns()));
+    }
+}
+
 fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
+    let traced = if inner.config.telemetry.enabled {
+        msg.trace.filter(|c| c.sampled)
+    } else {
+        None
+    };
+    let t0 = if traced.is_some() { now_ns() } else { 0 };
     match &msg.payload {
         Payload::GaugeInterestRequest { .. } => {
             // §5.1: "Interested trackers, after confirming the validity
@@ -297,18 +323,22 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
         Payload::Trace { event } => {
             if !token_valid(inner, &msg) {
                 inner.metrics.rejected_tokens.inc();
+                record_span(inner, traced.as_ref(), Stage::TrackerReject, t0);
                 return;
             }
             apply_event(inner, event.clone());
+            record_span(inner, traced.as_ref(), Stage::TrackerApply, t0);
         }
         Payload::EncryptedTrace { iv, ciphertext } => {
             if !token_valid(inner, &msg) {
                 inner.metrics.rejected_tokens.inc();
+                record_span(inner, traced.as_ref(), Stage::TrackerReject, t0);
                 return;
             }
             let key = inner.trace_key.lock().clone();
             let Some((key, mode)) = key else {
                 inner.metrics.undecryptable.inc();
+                record_span(inner, traced.as_ref(), Stage::TrackerReject, t0);
                 return;
             };
             let decrypted = match mode {
@@ -319,9 +349,13 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
                 .ok()
                 .and_then(|pt| TraceEvent::from_bytes(&pt).ok())
             {
-                Some(event) => apply_event(inner, event),
+                Some(event) => {
+                    apply_event(inner, event);
+                    record_span(inner, traced.as_ref(), Stage::TrackerApply, t0);
+                }
                 None => {
                     inner.metrics.undecryptable.inc();
+                    record_span(inner, traced.as_ref(), Stage::TrackerReject, t0);
                 }
             }
         }

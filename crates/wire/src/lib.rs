@@ -11,8 +11,8 @@
 //! * protocol payloads for topic creation/discovery, registration,
 //!   pings, gauge-interest and key distribution ([`payload`]),
 //! * authorization tokens (§4.3) ([`token`]),
-//! * the message envelope with optional signature and token
-//!   ([`message`]), and
+//! * the message envelope with optional signature, token and causal
+//!   trace context ([`message`]), and
 //! * a hand-rolled, versioned binary codec ([`codec`]).
 
 pub mod codec;

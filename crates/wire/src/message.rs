@@ -5,6 +5,14 @@
 //! (proof of credential possession, §4.2), an authorization token
 //! (broker delegation, §4.3), or an HMAC under a shared session key
 //! (the §6.3 signing-cost optimization).
+//!
+//! Since wire version 2 the envelope may also carry an optional
+//! [`TraceContext`] for causal tracing. It travels in a *trailing
+//! section* block after the authentication fields: a section count,
+//! then `(tag, length-prefixed body)` pairs. Decoders skip sections
+//! with tags they do not recognize, so the envelope can grow without
+//! another version bump; version-1 encodings (no section block at all)
+//! still decode.
 
 use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::error::WireError;
@@ -17,9 +25,17 @@ use nb_crypto::digest::DigestAlgorithm;
 use nb_crypto::hmac::{hmac, verify_mac};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::sha256::Sha256;
+use nb_telemetry::TraceContext;
 
 /// Codec version byte leading every encoded message.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest version this decoder still accepts (version-1 frames carry
+/// no trailing-section block).
+pub const MIN_WIRE_VERSION: u8 = 1;
+
+/// Trailing-section tag carrying a [`TraceContext`].
+pub const SECTION_TRACE: u8 = 1;
 
 /// A routable message.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +59,11 @@ pub struct Message {
     /// HMAC-SHA256 under a shared session key (§6.3 optimization;
     /// replaces `signature` on the entity→broker path).
     pub mac: Option<Vec<u8>>,
+    /// Causal tracing context (wire v2 trailing section). Not covered
+    /// by signatures or MACs — the hop count mutates at every broker
+    /// hop, and tampering with it can only corrupt telemetry, never
+    /// authorization.
+    pub trace: Option<TraceContext>,
 }
 
 impl Message {
@@ -58,6 +79,7 @@ impl Message {
             signature: None,
             token: None,
             mac: None,
+            trace: None,
         }
     }
 
@@ -68,7 +90,8 @@ impl Message {
     }
 
     /// The bytes covered by signatures and MACs: everything except the
-    /// authentication fields themselves.
+    /// authentication fields themselves and the trace context (which
+    /// mutates per hop and must not invalidate end-to-end signatures).
     pub fn signable_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u64(self.id);
@@ -126,11 +149,32 @@ impl Message {
         self.token = Some(token);
         self
     }
-}
 
-impl Encode for Message {
-    fn encode(&self, w: &mut Writer) {
-        w.put_u8(WIRE_VERSION);
+    /// Attaches a causal tracing context (builder style).
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Whether this message carries a head-sampled trace context —
+    /// the guard recorders evaluate before doing any tracing work.
+    pub fn trace_sampled(&self) -> bool {
+        self.trace.is_some_and(|t| t.sampled)
+    }
+
+    /// Encodes in the legacy version-1 layout (no trailing sections,
+    /// trace context dropped). Kept for wire-compatibility tests and
+    /// for talking to pre-v2 peers.
+    pub fn to_v1_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(MIN_WIRE_VERSION);
+        self.encode_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes every field after the version byte except the
+    /// trailing-section block (shared between v1 and v2 layouts).
+    fn encode_body(&self, w: &mut Writer) {
         w.put_u64(self.id);
         w.put_u64(self.correlation_id);
         self.topic.encode(w);
@@ -143,13 +187,58 @@ impl Encode for Message {
     }
 }
 
+/// Encodes a trace context as a section body.
+fn encode_trace_section(ctx: &TraceContext) -> Vec<u8> {
+    let mut w = Writer::with_capacity(26);
+    w.put_u64((ctx.trace_id >> 64) as u64);
+    w.put_u64(ctx.trace_id as u64);
+    w.put_u64(ctx.parent_span);
+    w.put_u8(ctx.hop_count);
+    w.put_bool(ctx.sampled);
+    w.into_bytes()
+}
+
+/// Decodes a trace-section body. Trailing bytes are tolerated so the
+/// section itself can grow compatibly.
+fn decode_trace_section(body: &[u8]) -> Result<TraceContext> {
+    let mut r = Reader::new(body);
+    let hi = r.get_u64()?;
+    let lo = r.get_u64()?;
+    let parent_span = r.get_u64()?;
+    let hop_count = r.get_u8()?;
+    let sampled = r.get_bool()?;
+    Ok(TraceContext {
+        trace_id: (u128::from(hi) << 64) | u128::from(lo),
+        parent_span,
+        hop_count,
+        sampled,
+    })
+}
+
+impl Encode for Message {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(WIRE_VERSION);
+        self.encode_body(w);
+        // Trailing sections: count, then (tag, length-prefixed body)
+        // pairs. Unknown tags are skipped on decode.
+        match &self.trace {
+            Some(ctx) => {
+                w.put_varint(1);
+                w.put_u8(SECTION_TRACE);
+                w.put_bytes(&encode_trace_section(ctx));
+            }
+            None => w.put_varint(0),
+        }
+    }
+}
+
 impl Decode for Message {
     fn decode(r: &mut Reader<'_>) -> Result<Self> {
         let version = r.get_u8()?;
-        if version != WIRE_VERSION {
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
-        Ok(Message {
+        let mut msg = Message {
             id: r.get_u64()?,
             correlation_id: r.get_u64()?,
             topic: Topic::decode(r)?,
@@ -159,7 +248,20 @@ impl Decode for Message {
             signature: r.get_option(|r| r.get_bytes())?,
             token: r.get_option(AuthorizationToken::decode)?,
             mac: r.get_option(|r| r.get_bytes())?,
-        })
+            trace: None,
+        };
+        if version >= 2 {
+            let sections = r.get_varint()?;
+            for _ in 0..sections {
+                let tag = r.get_u8()?;
+                let body = r.get_bytes()?;
+                if tag == SECTION_TRACE && msg.trace.is_none() {
+                    msg.trace = Some(decode_trace_section(&body)?);
+                }
+                // Any other tag: an extension from a newer peer — skip.
+            }
+        }
+        Ok(msg)
     }
 }
 
@@ -267,6 +369,34 @@ mod tests {
         let mut tampered = m.clone();
         tampered.timestamp_ms += 1;
         assert!(tampered.verify_mac(key).is_err());
+    }
+
+    #[test]
+    fn codec_round_trip_with_trace_context() {
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_cafe_f00d_0123_4567_89ab_cdef,
+            parent_span: 99,
+            hop_count: 3,
+            sampled: true,
+        };
+        let m = sample().with_trace(ctx);
+        let back = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.trace, Some(ctx));
+        assert_eq!(back, m);
+        assert!(back.trace_sampled());
+    }
+
+    #[test]
+    fn trace_context_not_covered_by_signature_or_mac() {
+        let cred = credential();
+        let mut m = sample();
+        m.sign(cred).unwrap();
+        m.mac_with(b"k");
+        // A broker mutating the hop count mid-route must not break
+        // end-to-end authentication.
+        m.trace = Some(TraceContext::root(1, true).next_hop());
+        m.verify_signature(&cred.certificate.public_key).unwrap();
+        m.verify_mac(b"k").unwrap();
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Wire-compatibility regression tests for the version-2 envelope:
+//! the trailing-section block must round-trip trace contexts, tolerate
+//! unknown sections from newer peers, and keep decoding version-1
+//! frames byte-for-byte as the seed encoder produced them.
+
+use nb_telemetry::TraceContext;
+use nb_wire::codec::{Decode, Encode, Reader, Writer};
+use nb_wire::error::WireError;
+use nb_wire::{Message, Payload, Topic};
+
+const NOW: u64 = 1_700_000_000_000;
+
+fn sample() -> Message {
+    Message::new(
+        11,
+        Topic::parse("/Stat/Wire/Compat").unwrap(),
+        "entity:compat",
+        NOW,
+        Payload::Ping {
+            seq: 4,
+            sent_at_ms: NOW,
+        },
+    )
+}
+
+fn ctx() -> TraceContext {
+    TraceContext {
+        trace_id: 0x0011_2233_4455_6677_8899_aabb_ccdd_eeff,
+        parent_span: 42,
+        hop_count: 2,
+        sampled: true,
+    }
+}
+
+#[test]
+fn round_trip_without_trace() {
+    let m = sample();
+    let back = Message::from_bytes(&m.to_bytes()).unwrap();
+    assert_eq!(back, m);
+    assert_eq!(back.trace, None);
+    assert!(!back.trace_sampled());
+}
+
+#[test]
+fn round_trip_with_trace() {
+    let m = sample().with_trace(ctx());
+    let back = Message::from_bytes(&m.to_bytes()).unwrap();
+    assert_eq!(back.trace, Some(ctx()));
+    assert_eq!(back, m);
+}
+
+#[test]
+fn v1_encoding_still_decodes() {
+    // Regression: a pre-extension peer's frame (version byte 1, no
+    // trailing-section block) must decode to the same message with no
+    // trace context.
+    let m = sample().with_trace(ctx());
+    let legacy = m.to_v1_bytes();
+    assert_eq!(legacy[0], 1, "legacy encoder must stamp version 1");
+    let back = Message::from_bytes(&legacy).unwrap();
+    assert_eq!(back.trace, None);
+    let mut expect = m.clone();
+    expect.trace = None;
+    assert_eq!(back, expect);
+}
+
+#[test]
+fn v1_and_v2_differ_only_in_version_and_sections() {
+    // The v2 layout of a traceless message is the v1 layout plus a
+    // zero section count — structural proof of backward compatibility.
+    let m = sample();
+    let v1 = m.to_v1_bytes();
+    let v2 = m.to_bytes();
+    assert_eq!(v2[0], 2);
+    assert_eq!(&v2[1..v2.len() - 1], &v1[1..]);
+    assert_eq!(*v2.last().unwrap(), 0, "empty section block is one 0 byte");
+}
+
+#[test]
+fn unknown_trailing_sections_are_skipped() {
+    // A newer peer appends a section we do not understand; we must
+    // skip it and still pick up the trace section that follows.
+    let m = sample();
+    let mut w = Writer::new();
+    m.encode(&mut w);
+    let mut bytes = w.into_bytes();
+    let base = bytes.len() - 1; // strip the encoder's 0 section count
+    bytes.truncate(base);
+
+    let mut tail = Writer::new();
+    tail.put_varint(2);
+    tail.put_u8(200); // unknown tag
+    tail.put_bytes(b"from-the-future");
+    tail.put_u8(nb_wire::message::SECTION_TRACE);
+    let mut body = Writer::new();
+    let c = ctx();
+    body.put_u64((c.trace_id >> 64) as u64);
+    body.put_u64(c.trace_id as u64);
+    body.put_u64(c.parent_span);
+    body.put_u8(c.hop_count);
+    body.put_bool(c.sampled);
+    tail.put_bytes(&body.into_bytes());
+    bytes.extend_from_slice(&tail.into_bytes());
+
+    let back = Message::from_bytes(&bytes).unwrap();
+    assert_eq!(back.trace, Some(ctx()));
+}
+
+#[test]
+fn future_versions_are_rejected() {
+    let mut bytes = sample().to_bytes();
+    bytes[0] = 3;
+    match Message::from_bytes(&bytes) {
+        Err(WireError::BadVersion(3)) => {}
+        other => panic!("expected BadVersion(3), got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_section_block_is_an_error() {
+    let m = sample().with_trace(ctx());
+    let bytes = m.to_bytes();
+    // Chop mid-section: count says 1 but the body is gone.
+    let cut = bytes.len() - 10;
+    assert!(Message::from_bytes(&bytes[..cut]).is_err());
+    // And a Reader that stops before the section block reports
+    // trailing bytes through from_bytes' expect_end.
+    let mut r = Reader::new(&bytes);
+    let parsed = Message::decode(&mut r).unwrap();
+    assert_eq!(parsed.trace, Some(ctx()));
+    r.expect_end("message").unwrap();
+}

@@ -66,16 +66,25 @@
 //! println!("{}", snapshot.to_table());
 //! ```
 //!
+//! Beyond aggregate metrics, the [`telemetry`] crate traces individual
+//! messages causally: an optional wire-level
+//! [`TraceContext`](telemetry::TraceContext) propagates hop to hop,
+//! every component records per-stage spans into a lock-free flight
+//! recorder, and `Deployment::telemetry_spans()` collects them for the
+//! JSON-lines / Chrome `trace_event` exporters (see the "Causal
+//! tracing" section of `docs/OBSERVABILITY.md`).
+//!
 //! See the crate-level documentation of the member crates for each
 //! subsystem: [`nb_crypto`], [`nb_wire`], [`nb_transport`],
 //! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`],
-//! [`nb_metrics`].
+//! [`nb_metrics`], [`nb_telemetry`].
 
 pub use nb_baseline as baseline;
 pub use nb_broker as broker;
 pub use nb_crypto as crypto;
 pub use nb_metrics as metrics;
 pub use nb_tdn as tdn;
+pub use nb_telemetry as telemetry;
 pub use nb_tracing as tracing;
 pub use nb_transport as transport;
 pub use nb_wire as wire;
@@ -87,6 +96,7 @@ pub mod prelude {
     pub use nb_crypto::Uuid;
     pub use nb_metrics::{Registry, Snapshot};
     pub use nb_tdn::TdnCluster;
+    pub use nb_telemetry::{TelemetryConfig, TraceContext};
     pub use nb_tracing::config::{SigningMode, TracingConfig};
     pub use nb_tracing::harness::{Deployment, Topology};
     pub use nb_tracing::view::{AvailabilityView, EntityStatus};
