@@ -36,6 +36,13 @@ if ! $quick; then
     # least one trace covers the complete publish→hop2→apply chain.
     echo "== trace report (smoke) =="
     cargo run --release -p nb-bench --bin trace_report -- --smoke
+
+    # Fault-tolerance smoke: repeatedly severs and heals the middle
+    # link of a supervised broker chain and asserts (inside the
+    # binary) that every cycle reconverges within budget and the
+    # repair cycles appear in the link metrics.
+    echo "== chaos report (smoke) =="
+    cargo run --release -p nb-bench --bin chaos_report -- --smoke
 fi
 
 echo "CI OK"

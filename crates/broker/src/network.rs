@@ -12,7 +12,7 @@ use crate::Result;
 use nb_telemetry::NodeSpans;
 use nb_transport::clock::SharedClock;
 use nb_transport::endpoint::Endpoint;
-use nb_transport::sim::{LinkConfig, SimNetwork};
+use nb_transport::sim::{LinkConfig, LinkId, SimNetwork};
 use nb_transport::{tcp, udp, TransportError};
 use std::time::Duration;
 
@@ -28,9 +28,15 @@ pub enum Medium {
 }
 
 impl Medium {
-    fn pair(&self, net: &SimNetwork) -> Result<(Endpoint, Endpoint)> {
+    /// Creates one link pair; simulated links also report the
+    /// [`LinkId`] handle used for fault injection (real-socket media
+    /// return `None` — their faults come from the OS, not a script).
+    fn pair(&self, net: &SimNetwork) -> Result<(Endpoint, Endpoint, Option<LinkId>)> {
         match self {
-            Medium::Sim(cfg) => Ok(net.symmetric_link(*cfg)),
+            Medium::Sim(cfg) => {
+                let (a, b, id) = net.symmetric_link_with_id(*cfg);
+                Ok((a, b, Some(id)))
+            }
             Medium::Tcp => {
                 let listener = tcp::TcpTransportListener::bind("127.0.0.1:0")?;
                 let addr = listener.local_addr()?;
@@ -40,9 +46,12 @@ impl Medium {
                     .join()
                     .map_err(|_| TransportError::Closed)?
                     .map_err(crate::BrokerError::Transport)?;
-                Ok((server, client))
+                Ok((server, client, None))
             }
-            Medium::Udp => Ok(udp::loopback_pair()?),
+            Medium::Udp => {
+                let (a, b) = udp::loopback_pair()?;
+                Ok((a, b, None))
+            }
         }
     }
 }
@@ -54,6 +63,10 @@ pub struct BrokerNetwork {
     /// Neighbour count each broker reaches once the mesh is up
     /// (mirrors the links laid down by the topology builder).
     expected_degree: Vec<usize>,
+    /// Inter-broker links in construction order (chain: link `i` joins
+    /// brokers `i` and `i+1`; star: link `i` joins the hub and spoke
+    /// `i+1`). `None` for real-socket media.
+    links: Vec<Option<LinkId>>,
     net: SimNetwork,
     clock: SharedClock,
     medium: Medium,
@@ -84,16 +97,19 @@ impl BrokerNetwork {
             .map(|i| Broker::new(format!("broker-{i}"), clock.clone(), broker_cfg.clone()))
             .collect();
         let mut expected_degree = vec![0usize; n];
+        let mut links = Vec::new();
         for i in 0..n.saturating_sub(1) {
-            let (a, b) = medium.pair(&net)?;
+            let (a, b, id) = medium.pair(&net)?;
             brokers[i].connect_neighbor(a);
             brokers[i + 1].connect_neighbor(b);
             expected_degree[i] += 1;
             expected_degree[i + 1] += 1;
+            links.push(id);
         }
         Ok(BrokerNetwork {
             brokers,
             expected_degree,
+            links,
             net,
             clock,
             medium,
@@ -124,16 +140,19 @@ impl BrokerNetwork {
             .map(|i| Broker::new(format!("broker-{i}"), clock.clone(), broker_cfg.clone()))
             .collect();
         let mut expected_degree = vec![0usize; leaves + 1];
+        let mut links = Vec::new();
         for i in 1..=leaves {
-            let (a, b) = medium.pair(&net)?;
+            let (a, b, id) = medium.pair(&net)?;
             brokers[0].connect_neighbor(a);
             brokers[i].connect_neighbor(b);
             expected_degree[0] += 1;
             expected_degree[i] += 1;
+            links.push(id);
         }
         Ok(BrokerNetwork {
             brokers,
             expected_degree,
+            links,
             net,
             clock,
             medium,
@@ -178,7 +197,7 @@ impl BrokerNetwork {
         client_id: &str,
         medium: Medium,
     ) -> Result<BrokerClient> {
-        let (broker_side, client_side) = medium.pair(&self.net)?;
+        let (broker_side, client_side, _link) = medium.pair(&self.net)?;
         self.brokers[idx].attach_client(broker_side);
         BrokerClient::attach(
             client_side,
@@ -195,6 +214,55 @@ impl BrokerNetwork {
             .iter()
             .map(|b| NodeSpans::capture(b.flight_recorder()))
             .collect()
+    }
+
+    /// The [`LinkId`] of inter-broker link `idx` (construction order —
+    /// see the `links` field docs). `None` for real-socket media.
+    pub fn link_id(&self, idx: usize) -> Option<LinkId> {
+        self.links.get(idx).copied().flatten()
+    }
+
+    /// Number of inter-broker links laid down by the topology builder.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Severs inter-broker link `idx` (simulated media only): sends
+    /// fail and in-flight frames are lost until
+    /// [`BrokerNetwork::restore_link`]. Returns whether the link was
+    /// scriptable.
+    pub fn drop_link(&self, idx: usize) -> bool {
+        self.link_id(idx).map(|id| self.net.drop_link(id)).is_some()
+    }
+
+    /// Heals inter-broker link `idx`. Returns whether the link was
+    /// scriptable.
+    pub fn restore_link(&self, idx: usize) -> bool {
+        self.link_id(idx).map(|id| self.net.restore(id)).is_some()
+    }
+
+    /// Makes inter-broker link `idx` drop frames with probability `p`
+    /// for `duration`. Returns whether the link was scriptable.
+    pub fn flaky_link(&self, idx: usize, p: f64, duration: Duration) -> bool {
+        self.link_id(idx)
+            .map(|id| self.net.flaky(id, p, duration))
+            .is_some()
+    }
+
+    /// Downs every listed inter-broker link at once — a partition.
+    /// Returns how many links were scriptable.
+    pub fn partition(&self, link_idxs: &[usize]) -> usize {
+        link_idxs
+            .iter()
+            .filter(|&&idx| self.drop_link(idx))
+            .count()
+    }
+
+    /// The underlying simulated network (fault scripting against
+    /// client links created with
+    /// [`BrokerNetwork::attach_client_with`]).
+    pub fn sim(&self) -> &SimNetwork {
+        &self.net
     }
 
     /// Waits until every broker has registered its expected

@@ -8,9 +8,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
 use nb_metrics::{Counter, Gauge, Registry, Snapshot};
-use nb_telemetry::{now_ns, FlightRecorder, SpanEvent, Stage, TelemetryConfig};
+use nb_telemetry::{now_ns, FlightRecorder, SpanEvent, Stage, TelemetryConfig, TraceContext};
 use nb_transport::clock::SharedClock;
 use nb_transport::endpoint::{Endpoint, FrameSender};
+use nb_transport::supervisor::{Connector, LinkState, LinkStats, LinkSupervisor, SupervisorConfig};
 use nb_wire::codec::{Decode, Encode};
 use nb_wire::constrained::{Action, Actor, AllowedActions, ConstrainedTopic, EventType};
 use nb_wire::token::Rights;
@@ -45,6 +46,13 @@ pub struct BrokerConfig {
     /// Causal-tracing knobs for this broker's flight recorder (see
     /// `docs/OBSERVABILITY.md`, "Causal tracing").
     pub telemetry: TelemetryConfig,
+    /// Link-failure fault tolerance: when set, every client and
+    /// neighbour endpoint is wrapped in a
+    /// [`LinkSupervisor`] that detects send/recv failure, buffers
+    /// outbound frames (bounded, drop-oldest) during the outage, and
+    /// reconnects with capped, jittered backoff. `None` keeps the
+    /// historical behaviour (a failed link tears its worker down).
+    pub link_supervision: Option<SupervisorConfig>,
 }
 
 impl Default for BrokerConfig {
@@ -56,6 +64,7 @@ impl Default for BrokerConfig {
             advert_refresh: Some(std::time::Duration::from_millis(500)),
             max_hops: 16,
             telemetry: TelemetryConfig::default(),
+            link_supervision: None,
         }
     }
 }
@@ -88,11 +97,19 @@ struct BrokerMetrics {
     neighbor_wait_wakeups: Counter,
     /// Condvar wake-ups inside [`Broker::wait_for_remote_subscription`].
     subscription_wait_wakeups: Counter,
+    /// Supervised links that completed a repair cycle and returned to
+    /// Up (one increment per Down → Up recovery).
+    link_reconnects: Counter,
+    /// Every supervised link-state transition (Up → Degraded, …).
+    link_state_changes: Counter,
+    /// Supervised links observed leaving the Up state.
+    link_down_events: Counter,
     clients: Gauge,
     neighbors: Gauge,
     subs_local: Gauge,
     subs_remote: Gauge,
     queue_depth: Gauge,
+    links_supervised: Gauge,
 }
 
 impl BrokerMetrics {
@@ -108,11 +125,15 @@ impl BrokerMetrics {
             terminated_clients: registry.counter("broker.client.terminated"),
             neighbor_wait_wakeups: registry.counter("broker.neighbor_wait.wakeups"),
             subscription_wait_wakeups: registry.counter("broker.subscription_wait.wakeups"),
+            link_reconnects: registry.counter("broker.link.reconnects"),
+            link_state_changes: registry.counter("broker.link.state_changes"),
+            link_down_events: registry.counter("broker.link.down_events"),
             clients: registry.gauge("broker.clients"),
             neighbors: registry.gauge("broker.neighbors"),
             subs_local: registry.gauge("broker.subscriptions.local"),
             subs_remote: registry.gauge("broker.subscriptions.remote"),
             queue_depth: registry.gauge("broker.queue.internal_depth"),
+            links_supervised: registry.gauge("broker.links.supervised"),
             registry,
         }
     }
@@ -198,6 +219,9 @@ struct Inner {
     /// Per-broker causal-tracing span ring.
     recorder: FlightRecorder,
     msg_seq: AtomicU64,
+    /// Live supervisors for every wrapped link (kept so the repair
+    /// threads stay alive and their stats stay inspectable).
+    supervisors: Mutex<Vec<LinkSupervisor>>,
 }
 
 /// Where a message entered this broker.
@@ -237,6 +261,7 @@ impl Broker {
                 metrics: BrokerMetrics::new(),
                 recorder,
                 msg_seq: AtomicU64::new(1),
+                supervisors: Mutex::new(Vec::new()),
             }),
         };
         if let Some(interval) = broker.inner.config.advert_refresh {
@@ -293,6 +318,8 @@ impl Broker {
             m.queue_depth
                 .set(state.internal.values().map(|tx| tx.len() as i64).sum());
         }
+        m.links_supervised
+            .set(self.inner.supervisors.lock().len() as i64);
         m.registry.snapshot()
     }
 
@@ -362,10 +389,63 @@ impl Broker {
         self.inner.state.lock().owner_keys.insert(trace_topic, key);
     }
 
+    /// Wraps `endpoint` in a [`LinkSupervisor`] when
+    /// [`BrokerConfig::link_supervision`] is set: the returned facade
+    /// buffers through outages and the supervisor's state transitions
+    /// feed the `broker.link.*` metrics and (when telemetry is on) the
+    /// flight recorder as `link_down`/`link_up` spans.
+    fn supervise_link(&self, endpoint: Endpoint, connector: Option<Box<dyn Connector>>) -> Endpoint {
+        let Some(base) = &self.inner.config.link_supervision else {
+            return endpoint;
+        };
+        // Give each link its own jitter seed so simultaneous outages
+        // don't retry in lockstep.
+        let index = self.inner.supervisors.lock().len() as u64;
+        let weak = Arc::downgrade(&self.inner);
+        let telemetry_on = self.inner.config.telemetry.enabled;
+        let observer: nb_transport::supervisor::StateObserver = Arc::new(move |old, new| {
+            let Some(inner) = weak.upgrade() else { return };
+            inner.metrics.link_state_changes.inc();
+            let (counter, stage) = match (old, new) {
+                (_, LinkState::Up) => (&inner.metrics.link_reconnects, Stage::LinkUp),
+                (LinkState::Up, _) => (&inner.metrics.link_down_events, Stage::LinkDown),
+                _ => return,
+            };
+            counter.inc();
+            if telemetry_on {
+                let t = now_ns();
+                let ctx = TraceContext::root(0, true);
+                inner.recorder.record(SpanEvent::new(&ctx, stage, t, t));
+            }
+        });
+        let cfg = base
+            .clone()
+            .with_seed(base.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .with_observer(observer);
+        let (facade, supervisor) = match connector {
+            Some(c) => LinkSupervisor::supervise_with_connector(endpoint, c, cfg),
+            None => LinkSupervisor::supervise(endpoint, cfg),
+        };
+        self.inner.supervisors.lock().push(supervisor);
+        facade
+    }
+
+    /// Point-in-time stats for every supervised link of this broker
+    /// (empty when supervision is disabled).
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.inner
+            .supervisors
+            .lock()
+            .iter()
+            .map(LinkSupervisor::stats)
+            .collect()
+    }
+
     /// Attaches a client over `endpoint`; the first frame must be an
     /// `Attach` payload carrying the client id. Spawns the worker
     /// thread and returns immediately.
     pub fn attach_client(&self, endpoint: Endpoint) {
+        let endpoint = self.supervise_link(endpoint, None);
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("{}-client-worker", inner.id))
@@ -376,6 +456,26 @@ impl Broker {
     /// Connects a neighbouring broker over `endpoint`. Both sides call
     /// this on their half of the link. Spawns the worker thread.
     pub fn connect_neighbor(&self, endpoint: Endpoint) {
+        let endpoint = self.supervise_link(endpoint, None);
+        let inner = Arc::clone(&self.inner);
+        std::thread::Builder::new()
+            .name(format!("{}-neighbor-worker", inner.id))
+            .spawn(move || neighbor_worker(inner, endpoint))
+            .expect("spawn neighbor worker");
+    }
+
+    /// Like [`Broker::connect_neighbor`], but repair redials a fresh
+    /// endpoint through `connector` instead of probing the broken one —
+    /// the mode real transports (TCP) need, since their streams cannot
+    /// be reused after a failure. Requires
+    /// [`BrokerConfig::link_supervision`]; panics otherwise, because a
+    /// connector without a supervisor could never be used.
+    pub fn connect_neighbor_with_reconnect(&self, endpoint: Endpoint, connector: Box<dyn Connector>) {
+        assert!(
+            self.inner.config.link_supervision.is_some(),
+            "connect_neighbor_with_reconnect requires BrokerConfig::link_supervision"
+        );
+        let endpoint = self.supervise_link(endpoint, Some(connector));
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("{}-neighbor-worker", inner.id))

@@ -98,12 +98,28 @@ fn stats_track_publish_deliver_forward() {
         assert!(local_sub.next_message(TIMEOUT).is_ok());
         assert!(remote_sub.next_message(TIMEOUT).is_ok());
     }
-    let b0 = net.broker(0).stats();
-    let b1 = net.broker(1).stats();
-    assert!(b0.published >= 5);
-    assert!(b0.delivered_local >= 5); // local_sub
-    assert!(b0.forwarded >= 5); // toward broker 1
-    assert!(b1.delivered_local >= 5); // remote_sub
+    // Delivery counters are incremented just *after* the frame is
+    // handed to the client, so draining a message can race the
+    // increment by a few instructions — poll briefly instead of
+    // asserting an instantaneous snapshot.
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    loop {
+        let b0 = net.broker(0).stats();
+        let b1 = net.broker(1).stats();
+        if b0.published >= 5
+            && b0.delivered_local >= 5 // local_sub
+            && b0.forwarded >= 5 // toward broker 1
+            && b1.delivered_local >= 5
+        // remote_sub
+        {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stats never converged: {b0:?} / {b1:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
 }
 
 #[test]

@@ -58,6 +58,12 @@ pub struct TracingConfig {
     /// and trackers of a deployment (see `docs/OBSERVABILITY.md`,
     /// "Causal tracing").
     pub telemetry: nb_telemetry::TelemetryConfig,
+    /// Link-failure fault tolerance for the deployment's brokers: when
+    /// set, every broker link runs under a supervisor that buffers
+    /// through outages and reconnects with backoff (see
+    /// `docs/ARCHITECTURE.md`, "Fault tolerance"). `None` keeps the
+    /// historical tear-down-on-failure behaviour.
+    pub link_supervision: Option<nb_transport::supervisor::SupervisorConfig>,
 }
 
 impl Default for TracingConfig {
@@ -78,6 +84,7 @@ impl Default for TracingConfig {
             token_skew_ms: 100,
             rsa_bits: 1024,
             telemetry: nb_telemetry::TelemetryConfig::default(),
+            link_supervision: None,
         }
     }
 }
@@ -102,6 +109,7 @@ impl TracingConfig {
             token_skew_ms: 100,
             rsa_bits: 512,
             telemetry: nb_telemetry::TelemetryConfig::default(),
+            link_supervision: None,
         }
     }
 }

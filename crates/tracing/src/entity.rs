@@ -33,7 +33,7 @@ use nb_wire::payload::{DiscoveryRestrictions, SessionGrant, TraceKeyMaterial};
 use nb_wire::token::{AuthorizationToken, Rights};
 use nb_wire::trace::{topics, EntityState, LoadInformation};
 use nb_wire::{Message, Payload, Topic};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -82,6 +82,10 @@ struct EntityInner {
     sampler: HeadSampler,
     stop: AtomicBool,
     pings_answered: AtomicU64,
+    /// Signalled after every answered ping (see
+    /// [`TracedEntity::wait_for_pings`]).
+    ping_notify: Mutex<()>,
+    ping_cv: Condvar,
 }
 
 impl EntityInner {
@@ -206,6 +210,8 @@ impl TracedEntity {
             sampler,
             stop: AtomicBool::new(false),
             pings_answered: AtomicU64::new(0),
+            ping_notify: Mutex::new(()),
+            ping_cv: Condvar::new(),
         });
         let entity = TracedEntity { inner };
 
@@ -244,6 +250,27 @@ impl TracedEntity {
     /// Pings answered so far.
     pub fn pings_answered(&self) -> u64 {
         self.inner.pings_answered.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until this entity has answered at least `n` pings (true)
+    /// or `timeout` elapses (false). Event-driven: the pump signals a
+    /// condition variable after each answered ping, so the caller
+    /// wakes on the ping itself rather than on a sleep-poll interval.
+    pub fn wait_for_pings(&self, n: u64, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = self.inner.ping_notify.lock();
+        loop {
+            if self.inner.pings_answered.load(Ordering::SeqCst) >= n {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.inner
+                .ping_cv
+                .wait_for(&mut guard, deadline.duration_since(now));
+        }
     }
 
     /// The entity's current lifecycle state.
@@ -381,18 +408,15 @@ impl TracedEntity {
                 if inner.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                let msg = match inner.client.next_message(Duration::from_millis(50)) {
-                    Ok(m) => m,
-                    Err(nb_broker::BrokerError::Timeout) => continue,
-                    Err(nb_broker::BrokerError::Transport(
-                        nb_transport::TransportError::Timeout,
-                    )) => continue,
-                    Err(_) => return,
-                };
                 // Loss recovery: until the first ping proves the broker
                 // holds our delegation token (it only pings joined
                 // sessions), periodically re-send the setup bundle.
                 // Every setup message is idempotent at the engine.
+                //
+                // This must run *before* blocking on the receive: an
+                // un-joined session gets no pings, so when the setup
+                // bundle is lost every receive times out and a retry
+                // gated behind a successful receive would never fire.
                 if inner.pings_answered.load(Ordering::Relaxed) == 0
                     && last_setup.elapsed() > Duration::from_millis(1500)
                 {
@@ -415,6 +439,14 @@ impl TracedEntity {
                     // `entity` is just another Arc handle; dropping it
                     // here is safe and leaves the pump running.
                 }
+                let msg = match inner.client.next_message(Duration::from_millis(50)) {
+                    Ok(m) => m,
+                    Err(nb_broker::BrokerError::Timeout) => continue,
+                    Err(nb_broker::BrokerError::Transport(
+                        nb_transport::TransportError::Timeout,
+                    )) => continue,
+                    Err(_) => return,
+                };
                 if let Payload::Ping { seq, sent_at_ms } = msg.payload {
                     // §3.3: the response echoes both the number and the
                     // timestamp of the ping.
@@ -434,7 +466,12 @@ impl TracedEntity {
                     if authenticate_message(&inner, &mut reply).is_ok()
                         && inner.client.send_message(&reply).is_ok()
                     {
-                        inner.pings_answered.fetch_add(1, Ordering::Relaxed);
+                        inner.pings_answered.fetch_add(1, Ordering::SeqCst);
+                        // Holding the notify lock across the signal
+                        // closes the missed-wakeup window against
+                        // wait_for_pings' check-then-wait.
+                        let _guard = inner.ping_notify.lock();
+                        inner.ping_cv.notify_all();
                     }
                 }
             }})

@@ -196,21 +196,23 @@ impl Tracker {
         self.inner.stop.store(true, Ordering::SeqCst);
     }
 
-    /// Convenience: blocks until the tracked entity reaches `want`
-    /// (polling the view), or the timeout elapses.
+    /// Convenience: blocks until the tracked entity reaches `want`, or
+    /// the timeout elapses.
+    ///
+    /// Event-driven: rides [`AvailabilityView::wait_for_status`]'s
+    /// condition variable, waking exactly when the pump applies a
+    /// trace — the 5 ms sleep-poll this used to be would add up to one
+    /// poll interval of latency to every status assertion.
+    ///
+    /// [`AvailabilityView::wait_for_status`]: crate::view::AvailabilityView::wait_for_status
     pub fn wait_for_status(
         &self,
         want: crate::view::EntityStatus,
         timeout: Duration,
     ) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
-        while std::time::Instant::now() < deadline {
-            if self.inner.view.status(&self.inner.entity_id) == Some(want) {
-                return true;
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        false
+        self.inner
+            .view
+            .wait_for_status(&self.inner.entity_id, want, timeout)
     }
 
     fn send_interest_response(&self) -> Result<()> {

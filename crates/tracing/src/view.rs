@@ -2,9 +2,10 @@
 //! entity up, and how is it doing?".
 
 use nb_wire::trace::{EntityState, LoadInformation, NetworkMetrics, TraceEvent, TraceKind};
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Aggregate availability judgement for one entity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,10 +39,28 @@ pub struct EntityRecord {
     pub traces_seen: u64,
 }
 
+/// Change notification shared by every clone of a view: waiters sleep
+/// on the condition variable, [`AvailabilityView::apply`] signals it
+/// after each mutation.
+struct Notify {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Default for Notify {
+    fn default() -> Self {
+        Notify {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+}
+
 /// A concurrently readable availability map. Clones share state.
 #[derive(Clone, Default)]
 pub struct AvailabilityView {
     entities: Arc<RwLock<HashMap<String, EntityRecord>>>,
+    notify: Arc<Notify>,
 }
 
 impl AvailabilityView {
@@ -54,45 +73,91 @@ impl AvailabilityView {
     /// sequence are ignored (traces can arrive out of order across the
     /// broker mesh).
     pub fn apply(&self, event: &TraceEvent) {
-        let mut entities = self.entities.write();
-        let record = entities
-            .entry(event.entity_id.clone())
-            .or_insert(EntityRecord {
-                status: EntityStatus::Available,
-                state: None,
-                last_seen_ms: 0,
-                load: None,
-                network: None,
-                last_seq: 0,
-                traces_seen: 0,
-            });
-        if event.seq < record.last_seq {
-            return; // stale
-        }
-        record.last_seq = event.seq;
-        record.last_seen_ms = event.timestamp_ms;
-        record.traces_seen += 1;
-        match &event.kind {
-            TraceKind::Join | TraceKind::AllsWell => {
-                record.status = EntityStatus::Available;
+        {
+            let mut entities = self.entities.write();
+            let record = entities
+                .entry(event.entity_id.clone())
+                .or_insert(EntityRecord {
+                    status: EntityStatus::Available,
+                    state: None,
+                    last_seen_ms: 0,
+                    load: None,
+                    network: None,
+                    last_seq: 0,
+                    traces_seen: 0,
+                });
+            if event.seq < record.last_seq {
+                return; // stale
             }
-            TraceKind::FailureSuspicion => record.status = EntityStatus::Suspected,
-            TraceKind::Failed => record.status = EntityStatus::Failed,
-            TraceKind::Disconnect | TraceKind::RevertingToSilentMode => {
-                record.status = EntityStatus::Offline;
-            }
-            TraceKind::StateTransition { to, .. } => {
-                record.state = Some(*to);
-                if *to == EntityState::Shutdown {
-                    record.status = EntityStatus::Offline;
-                } else {
+            record.last_seq = event.seq;
+            record.last_seen_ms = event.timestamp_ms;
+            record.traces_seen += 1;
+            match &event.kind {
+                TraceKind::Join | TraceKind::AllsWell => {
                     record.status = EntityStatus::Available;
                 }
+                TraceKind::FailureSuspicion => record.status = EntityStatus::Suspected,
+                TraceKind::Failed => record.status = EntityStatus::Failed,
+                TraceKind::Disconnect | TraceKind::RevertingToSilentMode => {
+                    record.status = EntityStatus::Offline;
+                }
+                TraceKind::StateTransition { to, .. } => {
+                    record.state = Some(*to);
+                    if *to == EntityState::Shutdown {
+                        record.status = EntityStatus::Offline;
+                    } else {
+                        record.status = EntityStatus::Available;
+                    }
+                }
+                TraceKind::LoadInformation(load) => record.load = Some(*load),
+                TraceKind::NetworkMetrics(metrics) => record.network = Some(*metrics),
+                TraceKind::GaugeInterest => {}
             }
-            TraceKind::LoadInformation(load) => record.load = Some(*load),
-            TraceKind::NetworkMetrics(metrics) => record.network = Some(*metrics),
-            TraceKind::GaugeInterest => {}
+        } // write lock released before signalling — see wait_until
+        let mut generation = self.notify.generation.lock();
+        *generation += 1;
+        self.notify.cv.notify_all();
+    }
+
+    /// Blocks until `pred(self)` holds (true) or `timeout` elapses
+    /// (false). Purely event-driven: the waiter sleeps on a condition
+    /// variable signalled by [`AvailabilityView::apply`], so it wakes
+    /// exactly when the view changes instead of sleep-polling.
+    ///
+    /// Missed-wakeup safety: the predicate is evaluated while holding
+    /// the notification lock, and `apply` only signals *after*
+    /// releasing the data lock and *while* holding the notification
+    /// lock — a change is therefore either visible to the predicate or
+    /// wakes the waiter.
+    pub fn wait_until<F>(&self, timeout: Duration, pred: F) -> bool
+    where
+        F: Fn(&AvailabilityView) -> bool,
+    {
+        let deadline = Instant::now() + timeout;
+        let mut generation = self.notify.generation.lock();
+        loop {
+            if pred(self) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.notify
+                .cv
+                .wait_for(&mut generation, deadline.duration_since(now));
         }
+    }
+
+    /// Blocks until `entity_id` reaches `status` (true) or `timeout`
+    /// elapses (false).
+    pub fn wait_for_status(
+        &self,
+        entity_id: &str,
+        status: EntityStatus,
+        timeout: Duration,
+    ) -> bool {
+        self.wait_until(timeout, |view| view.status(entity_id) == Some(status))
     }
 
     /// Current record for an entity.
@@ -228,6 +293,21 @@ mod tests {
         view.apply(&event(1, TraceKind::Join));
         assert_eq!(view2.status("e1"), Some(EntityStatus::Available));
         assert_eq!(view2.total_traces(), 1);
+    }
+
+    #[test]
+    fn wait_for_status_wakes_on_apply() {
+        let view = AvailabilityView::new();
+        let waiter = view.clone();
+        let t = std::thread::spawn(move || {
+            waiter.wait_for_status("e1", EntityStatus::Failed, Duration::from_secs(5))
+        });
+        // Give the waiter a moment to park, then publish the change.
+        std::thread::sleep(Duration::from_millis(20));
+        view.apply(&event(1, TraceKind::Failed));
+        assert!(t.join().unwrap());
+        // Timeout path: a condition that never comes returns false.
+        assert!(!view.wait_for_status("ghost", EntityStatus::Available, Duration::from_millis(30)));
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Chaos test: a secured tracking flow survives the loss and repair of
+//! the middle broker↔broker link when link supervision is enabled.
+//!
+//! Topology is a 3-broker chain — entity at `b0`, tracker at `b2` — so
+//! every trace crosses both inter-broker links. Dropping the middle
+//! link (`b1 — b2`) mid-trace severs the tracker from the entity; the
+//! supervised links must buffer through the outage, reconnect with
+//! backoff once the link heals, and replay the buffered traces in
+//! order, exactly once.
+
+#![allow(clippy::field_reassign_with_default)] // config tweaking reads better imperatively
+
+use nb_tracing::config::{SigningMode, TracingConfig};
+use nb_tracing::harness::{Deployment, Topology};
+use nb_tracing::view::EntityStatus;
+use nb_transport::clock::system_clock;
+use nb_transport::sim::LinkConfig;
+use nb_transport::supervisor::{LinkState, SupervisorConfig};
+use nb_wire::payload::DiscoveryRestrictions;
+use nb_wire::trace::TraceCategory;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+const WAIT: Duration = Duration::from_secs(15);
+
+/// Sleep-polls `pred` — used only for cross-component conditions that
+/// have no single condition variable to ride (broker link stats).
+fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if pred() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Exercises the TCP oversized-frame guard once so the lazily
+/// registered `transport.frame.oversized` counter appears in the
+/// process-global registry (and therefore in deployment snapshots).
+fn oversized_tcp_probe() {
+    let listener = nb_transport::tcp::TcpTransportListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let bogus_len = (nb_transport::endpoint::MAX_FRAME_LEN as u32 + 1).to_be_bytes();
+        stream.write_all(&bogus_len).unwrap();
+        stream
+    });
+    let server = listener.accept().unwrap();
+    let _stream = writer.join().unwrap();
+    assert!(
+        server.recv_timeout(Duration::from_secs(5)).is_err(),
+        "oversized wire frame must surface an error"
+    );
+}
+
+#[test]
+fn secured_tracking_survives_middle_link_outage() {
+    let mut config = TracingConfig::for_tests();
+    config.auto_tick = true;
+    config.tick = Duration::from_millis(10);
+    config.link_supervision = Some(SupervisorConfig::fast());
+    let dep = Deployment::new(
+        Topology::Chain(3),
+        LinkConfig::instant(),
+        system_clock(),
+        config,
+    )
+    .unwrap();
+    assert_eq!(dep.network.link_count(), 2, "chain(3) has two links");
+
+    // Secured entity (sealed trace keys, encrypted payloads) at one
+    // end of the chain, tracker at the other.
+    let entity = dep
+        .traced_entity(
+            0,
+            "chaos-entity",
+            DiscoveryRestrictions::Open,
+            SigningMode::RsaSign,
+            true,
+        )
+        .unwrap();
+    let tracker = dep
+        .tracker(
+            2,
+            "chaos-tracker",
+            "chaos-entity",
+            vec![TraceCategory::ChangeNotifications, TraceCategory::AllUpdates],
+        )
+        .unwrap();
+
+    // Baseline: traces flow end to end across both links.
+    assert!(
+        tracker.wait_for_status(EntityStatus::Available, WAIT),
+        "tracker never converged before the fault"
+    );
+    assert!(
+        tracker.view().wait_until(WAIT, |v| {
+            v.get("chaos-entity").is_some_and(|r| r.traces_seen >= 3)
+        }),
+        "heartbeats never flowed before the fault"
+    );
+    let before = tracker.view().get("chaos-entity").unwrap();
+
+    // Mid-trace outage: sever the middle link. Heartbeats keep being
+    // published — the brokers' supervised links must observe the
+    // failure and start buffering.
+    assert!(dep.network.drop_link(1), "middle link must be droppable");
+    assert!(
+        wait_until(WAIT, || {
+            dep.network.brokers.iter().any(|b| {
+                b.link_stats()
+                    .iter()
+                    .any(|s| s.send_failures > 0 || s.state != LinkState::Up)
+            })
+        }),
+        "no supervisor observed the outage"
+    );
+
+    // Heal the link. Supervisors complete a Down → Reconnecting → Up
+    // repair cycle and replay what they buffered.
+    assert!(dep.network.restore_link(1));
+    assert!(
+        wait_until(WAIT, || {
+            dep.network
+                .brokers
+                .iter()
+                .any(|b| b.link_stats().iter().any(|s| s.reconnects > 0))
+        }),
+        "no supervised link completed a repair cycle"
+    );
+
+    // Reconvergence within the backoff budget: fresh traces reach the
+    // tracker and the entity reads Available again.
+    assert!(
+        tracker.view().wait_until(WAIT, |v| {
+            v.get("chaos-entity").is_some_and(|r| {
+                r.status == EntityStatus::Available
+                    && r.traces_seen >= before.traces_seen + 3
+                    && r.last_seq > before.last_seq
+            })
+        }),
+        "tracker failed to reconverge after the outage"
+    );
+
+    // No duplication or corruption: per-entity trace seqs are unique
+    // and monotonically increasing, so the tracker can never apply
+    // more traces than the sequence space that elapsed. (Replay is
+    // exactly-once; loss of frames already in flight at drop time is
+    // permitted, duplication is not.)
+    let after = tracker.view().get("chaos-entity").unwrap();
+    assert!(
+        after.traces_seen - before.traces_seen <= after.last_seq - before.last_seq,
+        "duplicated traces applied: {} applied across {} seqs",
+        after.traces_seen - before.traces_seen,
+        after.last_seq - before.last_seq
+    );
+    // The entity's own link (b0, unaffected) never flapped.
+    assert!(entity.pings_answered() > 0, "entity stopped answering pings");
+
+    // Observability: the repair cycle and the oversized-frame guard
+    // are both visible in one merged deployment snapshot.
+    oversized_tcp_probe();
+    let snap = dep.metrics_snapshot();
+    let reconnects: u64 = dep
+        .network
+        .brokers
+        .iter()
+        .map(|b| {
+            snap.counter(&format!("{}.broker.link.reconnects", b.id()))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(
+        reconnects > 0,
+        "broker.link.reconnects missing from the merged snapshot"
+    );
+    let supervised: i64 = dep
+        .network
+        .brokers
+        .iter()
+        .map(|b| {
+            snap.gauge(&format!("{}.broker.links.supervised", b.id()))
+                .unwrap_or(0)
+        })
+        .sum();
+    assert!(supervised > 0, "no links report as supervised");
+    assert!(
+        snap.counter("transport.frame.oversized").unwrap_or(0) > 0,
+        "transport.frame.oversized missing from the merged snapshot"
+    );
+}
+
+#[test]
+fn flaky_link_heals_without_supervision_flapping() {
+    // A lossy-then-healed link: `flaky` drops frames probabilistically
+    // until its deadline, after which the fault self-heals. Supervised
+    // links treat a flaky drop as silent loss (the sim reports
+    // success), so this exercises the detector's tolerance: the flow
+    // must keep converging without tearing anything down.
+    let mut config = TracingConfig::for_tests();
+    config.auto_tick = true;
+    config.tick = Duration::from_millis(10);
+    config.link_supervision = Some(SupervisorConfig::fast());
+    let dep = Deployment::new(
+        Topology::Chain(3),
+        LinkConfig::instant(),
+        system_clock(),
+        config,
+    )
+    .unwrap();
+    let _entity = dep
+        .traced_entity(
+            0,
+            "flaky-entity",
+            DiscoveryRestrictions::Open,
+            SigningMode::RsaSign,
+            false,
+        )
+        .unwrap();
+    let tracker = dep
+        .tracker(
+            2,
+            "flaky-tracker",
+            "flaky-entity",
+            vec![TraceCategory::AllUpdates],
+        )
+        .unwrap();
+    assert!(
+        tracker.wait_for_status(EntityStatus::Available, WAIT),
+        "tracker never converged"
+    );
+    let before = tracker.view().get("flaky-entity").unwrap().traces_seen;
+
+    // 40% loss on the middle link for 300 ms, then self-heal.
+    assert!(dep.network.flaky_link(1, 0.4, Duration::from_millis(300)));
+    assert!(
+        tracker.view().wait_until(WAIT, |v| {
+            v.get("flaky-entity")
+                .is_some_and(|r| r.traces_seen >= before + 5)
+        }),
+        "traces never resumed after the flaky window"
+    );
+    assert_eq!(
+        tracker.view().status("flaky-entity"),
+        Some(EntityStatus::Available)
+    );
+}

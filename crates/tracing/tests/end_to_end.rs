@@ -334,7 +334,11 @@ fn interest_gating_suppresses_unwanted_categories() {
     assert!(wait_until(WAIT, || {
         tracker.view().status("gated") == Some(EntityStatus::Available)
     }));
-    // Load reports from the entity are also gated.
+    // Load reports from the entity are also gated. Condition-based:
+    // wait for the engine to actually gate the report (its gated
+    // counter ticks) instead of sleeping a fixed 300 ms and hoping the
+    // report has flowed through by then.
+    let gated_before = dep.engine(0).stats().traces_gated;
     entity
         .report_load(LoadInformation {
             cpu_percent: 1.0,
@@ -343,7 +347,9 @@ fn interest_gating_suppresses_unwanted_categories() {
             workload: 0,
         })
         .unwrap();
-    std::thread::sleep(Duration::from_millis(300));
+    assert!(wait_until(WAIT, || {
+        dep.engine(0).stats().traces_gated > gated_before
+    }));
     assert!(tracker.view().get("gated").and_then(|r| r.load).is_none());
 }
 

@@ -36,16 +36,18 @@ fn run_flow(medium: Medium) {
         )
         .unwrap();
 
+    // Condition-based waits: both ride condition variables (the
+    // tracker's availability view, the entity's ping signal) instead
+    // of the 10 ms sleep-poll loop this used to be.
     let deadline = Instant::now() + Duration::from_secs(15);
-    loop {
-        if tracker.view().status("xport-entity") == Some(EntityStatus::Available)
-            && entity.pings_answered() >= 2
-        {
-            break;
-        }
-        assert!(Instant::now() < deadline, "flow stalled over {medium:?}");
-        std::thread::sleep(Duration::from_millis(10));
-    }
+    assert!(
+        tracker.wait_for_status(EntityStatus::Available, Duration::from_secs(15)),
+        "tracker never saw the entity over {medium:?}"
+    );
+    assert!(
+        entity.wait_for_pings(2, deadline.saturating_duration_since(Instant::now())),
+        "pings stalled over {medium:?}"
+    );
 }
 
 #[test]

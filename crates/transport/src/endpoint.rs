@@ -4,12 +4,43 @@ use crate::error::TransportError;
 use crate::instrument;
 use crate::Result;
 use crossbeam::channel::{Receiver, RecvTimeoutError, TryRecvError};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Maximum frame size accepted by any transport (4 MiB).
 pub const MAX_FRAME_LEN: usize = 4 * 1024 * 1024;
+
+/// Shared slot for the typed reason a link stopped delivering frames.
+///
+/// A transport's reader thread cannot hand an error through the frame
+/// channel (it carries `Vec<u8>`), so before dropping its sender it
+/// parks the reason here; the endpoint returns it from every
+/// subsequent receive instead of a bare [`TransportError::Closed`].
+/// Only the first reason sticks.
+#[derive(Clone, Default)]
+pub struct FaultCell(Arc<Mutex<Option<TransportError>>>);
+
+impl FaultCell {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the close reason if none is set yet.
+    pub fn set(&self, err: TransportError) {
+        let mut slot = self.0.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// The recorded close reason, if any.
+    pub fn get(&self) -> Option<TransportError> {
+        self.0.lock().clone()
+    }
+}
 
 /// Transport-specific frame transmitter.
 pub trait FrameSender: Send + Sync {
@@ -105,12 +136,28 @@ pub struct Endpoint {
     tx: Arc<dyn FrameSender>,
     rx: Receiver<Vec<u8>>,
     stats: EndpointStats,
+    max_frame_len: usize,
+    fault: FaultCell,
 }
 
 impl Endpoint {
     /// Assembles an endpoint from its halves (used by transport
-    /// implementations).
+    /// implementations). The frame limit defaults to the global
+    /// [`MAX_FRAME_LEN`]; transports with a tighter wire limit use
+    /// [`Endpoint::from_parts_limited`].
     pub fn from_parts(tx: Arc<dyn FrameSender>, rx: Receiver<Vec<u8>>) -> Self {
+        Self::from_parts_limited(tx, rx, MAX_FRAME_LEN, FaultCell::new())
+    }
+
+    /// Assembles an endpoint advertising a transport-specific maximum
+    /// frame size and a shared [`FaultCell`] its reader thread can use
+    /// to surface a typed close reason.
+    pub fn from_parts_limited(
+        tx: Arc<dyn FrameSender>,
+        rx: Receiver<Vec<u8>>,
+        max_frame_len: usize,
+        fault: FaultCell,
+    ) -> Self {
         let stats = EndpointStats::default();
         Endpoint {
             tx: Arc::new(CountingSender {
@@ -119,23 +166,39 @@ impl Endpoint {
             }),
             rx,
             stats,
+            max_frame_len: max_frame_len.min(MAX_FRAME_LEN),
+            fault,
         }
+    }
+
+    /// The largest frame this endpoint's transport can carry. UDP
+    /// endpoints advertise the datagram ceiling here, so an envelope
+    /// that could never survive the wire is rejected at frame-build
+    /// time ([`Endpoint::send`]) instead of deep inside the transport.
+    pub fn max_frame_len(&self) -> usize {
+        self.max_frame_len
     }
 
     /// Sends one frame.
     pub fn send(&self, frame: &[u8]) -> Result<()> {
-        if frame.len() > MAX_FRAME_LEN {
+        if frame.len() > self.max_frame_len {
             return Err(TransportError::FrameTooLarge {
                 size: frame.len(),
-                max: MAX_FRAME_LEN,
+                max: self.max_frame_len,
             });
         }
         self.tx.send_frame(frame)
     }
 
+    /// Maps a disconnected frame channel to the typed close reason if
+    /// the transport recorded one, else plain `Closed`.
+    fn closed_error(&self) -> TransportError {
+        self.fault.get().unwrap_or(TransportError::Closed)
+    }
+
     /// Blocks until a frame arrives or the link closes.
     pub fn recv(&self) -> Result<Vec<u8>> {
-        let frame = self.rx.recv().map_err(|_| TransportError::Closed)?;
+        let frame = self.rx.recv().map_err(|_| self.closed_error())?;
         self.stats.record_in(frame.len());
         Ok(frame)
     }
@@ -144,7 +207,7 @@ impl Endpoint {
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>> {
         let frame = self.rx.recv_timeout(timeout).map_err(|e| match e {
             RecvTimeoutError::Timeout => TransportError::Timeout,
-            RecvTimeoutError::Disconnected => TransportError::Closed,
+            RecvTimeoutError::Disconnected => self.closed_error(),
         })?;
         self.stats.record_in(frame.len());
         Ok(frame)
@@ -158,7 +221,7 @@ impl Endpoint {
                 Ok(Some(frame))
             }
             Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(TransportError::Closed),
+            Err(TryRecvError::Disconnected) => Err(self.closed_error()),
         }
     }
 
@@ -198,6 +261,37 @@ mod tests {
         assert_eq!(b.stats().frames_in(), 1);
         assert_eq!(b.stats().bytes_in(), 5);
         assert_eq!(a.stats().frames_in(), 0);
+    }
+
+    #[test]
+    fn fault_cell_surfaces_typed_close_reason() {
+        let (tx, rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+        let fault = FaultCell::new();
+        struct NullSender;
+        impl FrameSender for NullSender {
+            fn send_frame(&self, _frame: &[u8]) -> Result<()> {
+                Ok(())
+            }
+        }
+        let ep = Endpoint::from_parts_limited(Arc::new(NullSender), rx, 100, fault.clone());
+        assert_eq!(ep.max_frame_len(), 100);
+        // Oversized for this endpoint's transport: rejected at build time.
+        assert_eq!(
+            ep.send(&[0u8; 101]),
+            Err(TransportError::FrameTooLarge { size: 101, max: 100 })
+        );
+        // Reader thread dies with a typed reason; recv reports it.
+        fault.set(TransportError::FrameTooLarge { size: 7, max: 5 });
+        fault.set(TransportError::Closed); // first reason sticks
+        drop(tx);
+        assert_eq!(
+            ep.recv(),
+            Err(TransportError::FrameTooLarge { size: 7, max: 5 })
+        );
+        assert_eq!(
+            ep.recv_timeout(Duration::from_millis(1)),
+            Err(TransportError::FrameTooLarge { size: 7, max: 5 })
+        );
     }
 
     #[test]

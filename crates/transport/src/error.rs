@@ -49,6 +49,24 @@ impl From<io::Error> for TransportError {
     }
 }
 
+impl Clone for TransportError {
+    /// `io::Error` is not `Clone`; the copy preserves the kind and
+    /// message, which is everything callers match on. Needed so a
+    /// reader thread can park a typed close reason in a shared cell
+    /// and every subsequent `recv` can return it.
+    fn clone(&self) -> Self {
+        match self {
+            TransportError::Closed => TransportError::Closed,
+            TransportError::Timeout => TransportError::Timeout,
+            TransportError::FrameTooLarge { size, max } => TransportError::FrameTooLarge {
+                size: *size,
+                max: *max,
+            },
+            TransportError::Io(e) => TransportError::Io(io::Error::new(e.kind(), e.to_string())),
+        }
+    }
+}
+
 impl PartialEq for TransportError {
     fn eq(&self, other: &Self) -> bool {
         matches!(

@@ -23,3 +23,10 @@ transport_counter!(FRAMES_RECEIVED, "transport.frames.received");
 transport_counter!(BYTES_RECEIVED, "transport.bytes.received");
 transport_counter!(SIM_FRAMES_DROPPED, "transport.sim.frames.dropped");
 transport_counter!(SIM_FRAMES_DUPLICATED, "transport.sim.frames.duplicated");
+transport_counter!(FRAME_OVERSIZED, "transport.frame.oversized");
+transport_counter!(SIM_FAULT_REJECTED, "transport.sim.fault.rejected");
+transport_counter!(SIM_FAULT_FLAKY_DROPPED, "transport.sim.fault.flaky_dropped");
+transport_counter!(LINK_RECONNECTS, "transport.link.reconnects");
+transport_counter!(LINK_FRAMES_BUFFERED, "transport.link.frames.buffered");
+transport_counter!(LINK_FRAMES_REPLAYED, "transport.link.frames.replayed");
+transport_counter!(LINK_FRAMES_SHED, "transport.link.frames.shed");

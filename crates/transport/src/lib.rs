@@ -11,6 +11,8 @@
 //!   the paper's 1–2 ms per-hop cluster links),
 //! * [`tcp`] / [`udp`] — real socket transports over the loopback or a
 //!   LAN (the two transports benchmarked in §6.1),
+//! * [`supervisor`] — supervised links: failure detection, reconnect
+//!   with capped backoff, and bounded buffering with in-order replay,
 //! * [`metrics`] — RTT/loss/bandwidth estimators feeding the
 //!   NETWORK_METRICS traces,
 //! * [`clock`] — an injectable clock so failure detection and token
@@ -22,13 +24,17 @@ pub mod error;
 mod instrument;
 pub mod metrics;
 pub mod sim;
+pub mod supervisor;
 pub mod tcp;
 pub mod udp;
 
 pub use clock::{Clock, MockClock, SystemClock};
 pub use endpoint::{Endpoint, EndpointStats};
 pub use error::TransportError;
-pub use sim::{LinkConfig, SimNetwork};
+pub use sim::{LinkConfig, LinkId, SimNetwork};
+pub use supervisor::{
+    BackoffPolicy, Connector, LinkState, LinkStats, LinkSupervisor, SupervisorConfig,
+};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, TransportError>;

@@ -10,6 +10,18 @@
 //! "around 1–2 milliseconds" (§6.1); [`LinkConfig::default`] models
 //! exactly that, so multi-hop benchmark topologies built on simulated
 //! links reproduce the paper's routing substrate.
+//!
+//! ## Fault injection
+//!
+//! Every link has a [`LinkId`]; the network can script outages against
+//! it while the endpoints stay alive: [`SimNetwork::drop_link`] makes
+//! sends fail with [`TransportError::Closed`] and discards in-flight
+//! frames (a cable pull), [`SimNetwork::flaky`] drops frames with a
+//! given probability for a bounded window (a deteriorating path),
+//! [`SimNetwork::partition`] downs a whole set of links at once, and
+//! [`SimNetwork::restore`] heals. Combined with the seeded RNG this
+//! makes outage scenarios scriptable and reproducible — the substrate
+//! the supervised-link layer ([`crate::supervisor`]) is tested against.
 
 use crate::endpoint::{Endpoint, FrameSender};
 use crate::error::TransportError;
@@ -19,11 +31,27 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Identifies one bidirectional link of a [`SimNetwork`] for fault
+/// injection. Both directions share the id: dropping it severs the
+/// link like a pulled cable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(u64);
+
+/// Scripted fault state of one link (absent = healthy).
+#[derive(Debug, Clone, Copy)]
+enum Fault {
+    /// Sends fail with [`TransportError::Closed`]; nothing is delivered.
+    Down,
+    /// Frames are dropped with probability `p` until `until`, then the
+    /// link heals itself.
+    Flaky { p: f64, until: Instant },
+}
 
 /// Per-direction link behaviour.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +109,7 @@ struct Delivery {
     seq: u64,
     frame: Vec<u8>,
     dest: Sender<Vec<u8>>,
+    link: LinkId,
 }
 
 impl PartialEq for Delivery {
@@ -110,6 +139,8 @@ struct Shared {
     stop: AtomicBool,
     seq: AtomicU64,
     rng: Mutex<StdRng>,
+    next_link: AtomicU64,
+    faults: Mutex<HashMap<LinkId, Fault>>,
 }
 
 /// A simulated network: one scheduler thread, any number of links.
@@ -128,6 +159,8 @@ impl SimNetwork {
             stop: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            next_link: AtomicU64::new(0),
+            faults: Mutex::new(HashMap::new()),
         });
         let thread_shared = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
@@ -143,6 +176,18 @@ impl SimNetwork {
     /// Creates a bidirectional link; `a_to_b` and `b_to_a` configure
     /// each direction independently (asymmetric links are allowed).
     pub fn link(&self, a_to_b: LinkConfig, b_to_a: LinkConfig) -> (Endpoint, Endpoint) {
+        let (a, b, _) = self.link_with_id(a_to_b, b_to_a);
+        (a, b)
+    }
+
+    /// Like [`SimNetwork::link`] but also returns the [`LinkId`] for
+    /// fault injection.
+    pub fn link_with_id(
+        &self,
+        a_to_b: LinkConfig,
+        b_to_a: LinkConfig,
+    ) -> (Endpoint, Endpoint, LinkId) {
+        let link = LinkId(self.shared.next_link.fetch_add(1, Ordering::Relaxed));
         let (tx_to_a, rx_a) = unbounded();
         let (tx_to_b, rx_b) = unbounded();
         let a = Endpoint::from_parts(
@@ -150,6 +195,7 @@ impl SimNetwork {
                 cfg: a_to_b,
                 dest: tx_to_b,
                 shared: Arc::clone(&self.shared),
+                link,
             }),
             rx_a,
         );
@@ -158,15 +204,73 @@ impl SimNetwork {
                 cfg: b_to_a,
                 dest: tx_to_a,
                 shared: Arc::clone(&self.shared),
+                link,
             }),
             rx_b,
         );
-        (a, b)
+        (a, b, link)
     }
 
     /// A link with the same behaviour in both directions.
     pub fn symmetric_link(&self, cfg: LinkConfig) -> (Endpoint, Endpoint) {
         self.link(cfg, cfg)
+    }
+
+    /// A symmetric link plus its [`LinkId`] for fault injection.
+    pub fn symmetric_link_with_id(&self, cfg: LinkConfig) -> (Endpoint, Endpoint, LinkId) {
+        self.link_with_id(cfg, cfg)
+    }
+
+    /// Kills a link: both directions fail sends with
+    /// [`TransportError::Closed`] and every queued in-flight frame on
+    /// the link is discarded, like a pulled cable. The endpoints stay
+    /// alive; [`SimNetwork::restore`] heals the link in place.
+    pub fn drop_link(&self, link: LinkId) {
+        self.shared.faults.lock().insert(link, Fault::Down);
+        // Purge in-flight frames: a severed cable loses what was on it.
+        let mut queue = self.shared.queue.lock();
+        let survivors: BinaryHeap<Delivery> =
+            queue.drain().filter(|d| d.link != link).collect();
+        *queue = survivors;
+        drop(queue);
+        self.shared.cv.notify_all();
+    }
+
+    /// Makes a link drop frames with probability `p` for `duration`,
+    /// after which it heals itself ([`SimNetwork::restore`] heals it
+    /// early). Dropped frames are counted in
+    /// `transport.sim.fault.flaky_dropped`.
+    pub fn flaky(&self, link: LinkId, p: f64, duration: Duration) {
+        self.shared.faults.lock().insert(
+            link,
+            Fault::Flaky {
+                p,
+                until: Instant::now() + duration,
+            },
+        );
+    }
+
+    /// Downs every link in `links` at once — a network partition
+    /// separating broker groups. Equivalent to calling
+    /// [`SimNetwork::drop_link`] on each.
+    pub fn partition(&self, links: &[LinkId]) {
+        for &link in links {
+            self.drop_link(link);
+        }
+    }
+
+    /// Heals a link: clears any scripted fault so traffic flows again.
+    pub fn restore(&self, link: LinkId) {
+        self.shared.faults.lock().remove(&link);
+    }
+
+    /// Whether the link currently has a scripted fault.
+    pub fn is_faulted(&self, link: LinkId) -> bool {
+        match self.shared.faults.lock().get(&link) {
+            None => false,
+            Some(Fault::Down) => true,
+            Some(Fault::Flaky { until, .. }) => Instant::now() < *until,
+        }
     }
 
     /// Stops the scheduler; queued frames are discarded.
@@ -221,12 +325,44 @@ struct SimSender {
     cfg: LinkConfig,
     dest: Sender<Vec<u8>>,
     shared: Arc<Shared>,
+    link: LinkId,
+}
+
+impl SimSender {
+    /// Applies any scripted fault: `Err(Closed)` for a downed link,
+    /// `Ok(true)` when a flaky link eats this frame, `Ok(false)` when
+    /// the frame may proceed. Expired flaky windows self-heal here.
+    fn check_fault(&self) -> Result<bool> {
+        let mut faults = self.shared.faults.lock();
+        match faults.get(&self.link) {
+            None => Ok(false),
+            Some(Fault::Down) => {
+                crate::instrument::SIM_FAULT_REJECTED.inc();
+                Err(TransportError::Closed)
+            }
+            Some(&Fault::Flaky { p, until }) => {
+                if Instant::now() >= until {
+                    faults.remove(&self.link);
+                    return Ok(false);
+                }
+                let eaten = self.shared.rng.lock().random::<f64>() < p;
+                if eaten {
+                    crate::instrument::SIM_FAULT_FLAKY_DROPPED.inc();
+                }
+                Ok(eaten)
+            }
+        }
+    }
 }
 
 impl FrameSender for SimSender {
     fn send_frame(&self, frame: &[u8]) -> Result<()> {
         if self.shared.stop.load(Ordering::SeqCst) {
             return Err(TransportError::Closed);
+        }
+        if self.check_fault()? {
+            // A flaky link eats the frame silently, like wire loss.
+            return Ok(());
         }
         let (dropped, duplicated, jitter1, jitter2) = {
             let mut rng = self.shared.rng.lock();
@@ -261,6 +397,7 @@ impl FrameSender for SimSender {
                 seq,
                 frame,
                 dest: self.dest.clone(),
+                link: self.link,
             });
         };
         push(now + self.cfg.latency + jitter1, frame.to_vec());
@@ -397,6 +534,97 @@ mod tests {
         let (c, d) = net.symmetric_link(LinkConfig::instant());
         c.send(b"alive").unwrap();
         assert_eq!(d.recv_timeout(Duration::from_secs(1)).unwrap(), b"alive");
+    }
+
+    #[test]
+    fn dropped_link_fails_sends_until_restored() {
+        let net = SimNetwork::new(11);
+        let (a, b, link) = net.symmetric_link_with_id(LinkConfig::instant());
+        a.send(b"before").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"before");
+        net.drop_link(link);
+        assert!(net.is_faulted(link));
+        assert_eq!(a.send(b"lost"), Err(TransportError::Closed));
+        assert_eq!(b.send(b"lost too"), Err(TransportError::Closed));
+        net.restore(link);
+        assert!(!net.is_faulted(link));
+        a.send(b"after").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"after");
+    }
+
+    #[test]
+    fn drop_link_purges_in_flight_frames() {
+        let net = SimNetwork::new(12);
+        let slow = LinkConfig {
+            latency: Duration::from_millis(200),
+            jitter: Duration::ZERO,
+            loss_rate: 0.0,
+            duplicate_rate: 0.0,
+        };
+        let (a, b, link) = net.symmetric_link_with_id(slow);
+        a.send(b"in flight").unwrap();
+        // Sever the cable while the frame is still queued.
+        net.drop_link(link);
+        net.restore(link);
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(400)),
+            Err(TransportError::Timeout)
+        );
+    }
+
+    #[test]
+    fn drop_link_leaves_other_links_untouched() {
+        let net = SimNetwork::new(13);
+        let (a, _b, link) = net.symmetric_link_with_id(LinkConfig::instant());
+        let (c, d, _other) = net.symmetric_link_with_id(LinkConfig::instant());
+        net.drop_link(link);
+        assert_eq!(a.send(b"down"), Err(TransportError::Closed));
+        c.send(b"up").unwrap();
+        assert_eq!(d.recv_timeout(Duration::from_secs(1)).unwrap(), b"up");
+    }
+
+    #[test]
+    fn flaky_link_drops_roughly_proportionally() {
+        let net = SimNetwork::new(14);
+        let (a, b, link) = net.symmetric_link_with_id(LinkConfig::instant());
+        net.flaky(link, 0.5, Duration::from_secs(30));
+        let n = 400;
+        for i in 0..n as u32 {
+            a.send(&i.to_be_bytes()).unwrap();
+        }
+        let mut received = 0;
+        while b.recv_timeout(Duration::from_millis(100)).is_ok() {
+            received += 1;
+        }
+        assert!(
+            (120..280).contains(&received),
+            "received {received} of {n}"
+        );
+    }
+
+    #[test]
+    fn flaky_window_expires_on_its_own() {
+        let net = SimNetwork::new(15);
+        let (a, b, link) = net.symmetric_link_with_id(LinkConfig::instant());
+        net.flaky(link, 1.0, Duration::from_millis(50));
+        a.send(b"eaten").unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!net.is_faulted(link), "flaky window should have expired");
+        a.send(b"healed").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"healed");
+    }
+
+    #[test]
+    fn partition_downs_every_listed_link() {
+        let net = SimNetwork::new(16);
+        let (a, _b, l1) = net.symmetric_link_with_id(LinkConfig::instant());
+        let (c, _d, l2) = net.symmetric_link_with_id(LinkConfig::instant());
+        let (e, f, _l3) = net.symmetric_link_with_id(LinkConfig::instant());
+        net.partition(&[l1, l2]);
+        assert_eq!(a.send(b"x"), Err(TransportError::Closed));
+        assert_eq!(c.send(b"x"), Err(TransportError::Closed));
+        e.send(b"alive").unwrap();
+        assert_eq!(f.recv_timeout(Duration::from_secs(1)).unwrap(), b"alive");
     }
 
     #[test]

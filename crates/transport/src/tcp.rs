@@ -5,17 +5,24 @@
 //! deframes incoming bytes into the endpoint's channel, and sends are
 //! serialized through a mutex-guarded writer.
 
-use crate::endpoint::{Endpoint, FrameSender, MAX_FRAME_LEN};
+use crate::endpoint::{Endpoint, FaultCell, FrameSender, MAX_FRAME_LEN};
 use crate::error::TransportError;
+use crate::instrument;
 use crate::Result;
 use crossbeam::channel::unbounded;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 struct TcpFrameSender {
     stream: Mutex<TcpStream>,
+    /// Set after the first write error: a failed `write_all` may have
+    /// left a partial frame on the wire, so any further write would
+    /// interleave into a corrupt stream. Once poisoned every send
+    /// fails fast with [`TransportError::Closed`].
+    poisoned: AtomicBool,
 }
 
 impl Drop for TcpFrameSender {
@@ -30,11 +37,18 @@ impl Drop for TcpFrameSender {
 impl FrameSender for TcpFrameSender {
     fn send_frame(&self, frame: &[u8]) -> Result<()> {
         let mut stream = self.stream.lock();
+        if self.poisoned.load(Ordering::Acquire) {
+            return Err(TransportError::Closed);
+        }
         // Single buffered write: length prefix + body.
         let mut buf = Vec::with_capacity(4 + frame.len());
         buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
         buf.extend_from_slice(frame);
-        stream.write_all(&buf)?;
+        if let Err(e) = stream.write_all(&buf) {
+            self.poisoned.store(true, Ordering::Release);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return Err(TransportError::Io(e));
+        }
         Ok(())
     }
 }
@@ -46,6 +60,8 @@ pub fn endpoint_from_stream(stream: TcpStream) -> Result<Endpoint> {
     stream.set_nodelay(true)?;
     let reader_stream = stream.try_clone()?;
     let (tx, rx) = unbounded();
+    let fault = FaultCell::new();
+    let reader_fault = fault.clone();
     std::thread::Builder::new()
         .name("tcp-reader".to_string())
         .spawn(move || {
@@ -57,6 +73,15 @@ pub fn endpoint_from_stream(stream: TcpStream) -> Result<Endpoint> {
                 }
                 let len = u32::from_be_bytes(len_buf) as usize;
                 if len > MAX_FRAME_LEN {
+                    // A length prefix beyond the protocol ceiling means
+                    // the stream is garbage (or hostile). Park the typed
+                    // reason so the endpoint owner can tell this apart
+                    // from a clean peer close.
+                    instrument::FRAME_OVERSIZED.inc();
+                    reader_fault.set(TransportError::FrameTooLarge {
+                        size: len,
+                        max: MAX_FRAME_LEN,
+                    });
                     return;
                 }
                 let mut frame = vec![0u8; len];
@@ -69,11 +94,14 @@ pub fn endpoint_from_stream(stream: TcpStream) -> Result<Endpoint> {
             }
         })
         .map_err(TransportError::Io)?;
-    Ok(Endpoint::from_parts(
+    Ok(Endpoint::from_parts_limited(
         Arc::new(TcpFrameSender {
             stream: Mutex::new(stream),
+            poisoned: AtomicBool::new(false),
         }),
         rx,
+        MAX_FRAME_LEN,
+        fault,
     ))
 }
 
@@ -171,6 +199,62 @@ mod tests {
             server.recv_timeout(Duration::from_secs(2)),
             Err(TransportError::Closed)
         );
+    }
+
+    #[test]
+    fn oversized_wire_frame_surfaces_typed_error() {
+        // A peer that announces a frame bigger than the protocol
+        // ceiling must not look like a clean close: the reader thread
+        // parks FrameTooLarge and the endpoint reports it.
+        let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let bogus_len = (MAX_FRAME_LEN as u32 + 1).to_be_bytes();
+            s.write_all(&bogus_len).unwrap();
+            s
+        });
+        let server = listener.accept().unwrap();
+        let _raw = raw.join().unwrap();
+        let before = nb_metrics::global().counter("transport.frame.oversized").get();
+        let err = server.recv_timeout(Duration::from_secs(2)).unwrap_err();
+        assert_eq!(
+            err,
+            TransportError::FrameTooLarge {
+                size: MAX_FRAME_LEN + 1,
+                max: MAX_FRAME_LEN
+            }
+        );
+        // The counter observed the event too.
+        assert!(nb_metrics::global().counter("transport.frame.oversized").get() > before);
+    }
+
+    #[test]
+    fn write_error_poisons_the_sender() {
+        let (server, client) = pair();
+        drop(server);
+        // Writing into a closed peer: the first writes land in the
+        // kernel buffer, but once the RST comes back a write fails.
+        let mut saw_error = false;
+        for _ in 0..10_000 {
+            match client.send(&[0x5au8; 1024]) {
+                Ok(()) => std::thread::sleep(Duration::from_millis(1)),
+                Err(TransportError::Closed) => {
+                    // Already poisoned by an earlier failure — also fine.
+                    saw_error = true;
+                    break;
+                }
+                Err(_) => {
+                    saw_error = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_error, "writes into a dead peer never failed");
+        // Poisoned: every subsequent send fails fast with Closed, so a
+        // partially written frame can never be followed by another.
+        assert_eq!(client.send(b"after"), Err(TransportError::Closed));
+        assert_eq!(client.send(b"again"), Err(TransportError::Closed));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! reordered by the OS — exactly the behaviour the paper's
 //! ping/loss-tracking machinery is built to observe.
 
-use crate::endpoint::{Endpoint, FrameSender};
+use crate::endpoint::{Endpoint, FaultCell, FrameSender};
 use crate::error::TransportError;
 use crate::Result;
 use crossbeam::channel::unbounded;
@@ -73,11 +73,17 @@ impl UdpHalf {
                 }
             })
             .map_err(TransportError::Io)?;
-        Ok(Endpoint::from_parts(
+        // The endpoint advertises the datagram ceiling as its frame
+        // limit, so an envelope that passes the generic 4 MiB check but
+        // could never fit one datagram is rejected at frame-build time
+        // ([`Endpoint::send`]) instead of only at UDP send time.
+        Ok(Endpoint::from_parts_limited(
             Arc::new(UdpFrameSender {
                 socket: self.socket,
             }),
             rx,
+            MAX_DATAGRAM,
+            FaultCell::new(),
         ))
     }
 }

@@ -74,6 +74,18 @@
 //! JSON-lines / Chrome `trace_event` exporters (see the "Causal
 //! tracing" section of `docs/OBSERVABILITY.md`).
 //!
+//! ## Fault tolerance
+//!
+//! Setting [`prelude::TracingConfig`]'s `link_supervision` (or
+//! `BrokerConfig::link_supervision` directly) runs every broker link
+//! under a [`prelude::LinkSupervisor`]: send/receive failures are
+//! detected, outbound frames are buffered through the outage (bounded,
+//! shedding oldest first), and the link reconnects with capped,
+//! jittered exponential backoff before replaying the buffer in order.
+//! The simulated network can inject the faults to test against —
+//! `drop_link`, `flaky`, `partition`, `restore` (see the "Fault
+//! tolerance" section of `docs/ARCHITECTURE.md`).
+//!
 //! See the crate-level documentation of the member crates for each
 //! subsystem: [`nb_crypto`], [`nb_wire`], [`nb_transport`],
 //! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`],
@@ -102,7 +114,10 @@ pub mod prelude {
     pub use nb_tracing::view::{AvailabilityView, EntityStatus};
     pub use nb_tracing::{TracedEntity, Tracker, TracingEngine};
     pub use nb_transport::clock::{system_clock, Clock, MockClock, SystemClock};
-    pub use nb_transport::sim::{LinkConfig, SimNetwork};
+    pub use nb_transport::sim::{LinkConfig, LinkId, SimNetwork};
+    pub use nb_transport::supervisor::{
+        BackoffPolicy, LinkState, LinkStats, LinkSupervisor, SupervisorConfig,
+    };
     pub use nb_wire::payload::DiscoveryRestrictions;
     pub use nb_wire::trace::{EntityState, LoadInformation, TraceCategory};
     pub use nb_wire::{Message, Payload, Topic};

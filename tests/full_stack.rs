@@ -15,6 +15,13 @@ const WAIT: Duration = Duration::from_secs(15);
 /// makes their tail latencies compound. Serialize them.
 static LOSSY_GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
+/// Serializes a lossy test, recovering the gate if a previous holder
+/// panicked — one failing test must not cascade into poison panics in
+/// every later gated test.
+fn lossy_gate() -> std::sync::MutexGuard<'static, ()> {
+    LOSSY_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
     let deadline = Instant::now() + timeout;
     while Instant::now() < deadline {
@@ -67,7 +74,7 @@ fn prelude_quickstart_flow() {
 
 #[test]
 fn tracking_survives_a_lossy_entity_link() {
-    let _gate = LOSSY_GATE.lock().unwrap();
+    let _gate = lossy_gate();
     // 20% loss on every link: pings and responses drop, the adaptive
     // interval kicks in, but a live entity must stay Available (no
     // false FAILED verdict) because suspicion needs *consecutive*
@@ -114,7 +121,7 @@ fn tracking_survives_a_lossy_entity_link() {
 
 #[test]
 fn network_metrics_reflect_injected_loss() {
-    let _gate = LOSSY_GATE.lock().unwrap();
+    let _gate = lossy_gate();
     let mut config = fast_config();
     config.suspicion_threshold = 6;
     config.failure_threshold = 6;
@@ -167,7 +174,7 @@ fn network_metrics_reflect_injected_loss() {
 
 #[test]
 fn duplicated_frames_do_not_corrupt_the_view() {
-    let _gate = LOSSY_GATE.lock().unwrap();
+    let _gate = lossy_gate();
     let mut link = LinkConfig::instant();
     link.duplicate_rate = 0.5;
     let deployment = Deployment::new(
