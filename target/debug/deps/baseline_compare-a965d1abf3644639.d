@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_compare-a965d1abf3644639.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/debug/deps/baseline_compare-a965d1abf3644639: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_compare-d404e42933a767ff.d: crates/bench/src/bin/baseline_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_compare-d404e42933a767ff.rmeta: crates/bench/src/bin/baseline_compare.rs Cargo.toml
+
+crates/bench/src/bin/baseline_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

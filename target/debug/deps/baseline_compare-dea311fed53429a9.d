@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_compare-dea311fed53429a9.d: crates/bench/src/bin/baseline_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_compare-dea311fed53429a9.rmeta: crates/bench/src/bin/baseline_compare.rs Cargo.toml
+
+crates/bench/src/bin/baseline_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/broker_network-1b4354b9e2b39208.d: crates/broker/tests/broker_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbroker_network-1b4354b9e2b39208.rmeta: crates/broker/tests/broker_network.rs Cargo.toml
+
+crates/broker/tests/broker_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

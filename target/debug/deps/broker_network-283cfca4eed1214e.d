@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/broker_network-283cfca4eed1214e.d: crates/broker/tests/broker_network.rs
+
+/root/repo/target/debug/deps/broker_network-283cfca4eed1214e: crates/broker/tests/broker_network.rs
+
+crates/broker/tests/broker_network.rs:

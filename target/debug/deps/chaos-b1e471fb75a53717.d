@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-b1e471fb75a53717.d: crates/tracing/tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-b1e471fb75a53717.rmeta: crates/tracing/tests/chaos.rs Cargo.toml
+
+crates/tracing/tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

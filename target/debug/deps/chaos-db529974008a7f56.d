@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-db529974008a7f56.d: crates/tracing/tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-db529974008a7f56: crates/tracing/tests/chaos.rs
+
+crates/tracing/tests/chaos.rs:

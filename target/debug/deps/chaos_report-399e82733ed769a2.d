@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_report-399e82733ed769a2.d: crates/bench/src/bin/chaos_report.rs
+
+/root/repo/target/debug/deps/chaos_report-399e82733ed769a2: crates/bench/src/bin/chaos_report.rs
+
+crates/bench/src/bin/chaos_report.rs:

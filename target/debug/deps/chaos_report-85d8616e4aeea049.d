@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_report-85d8616e4aeea049.d: crates/bench/src/bin/chaos_report.rs
+
+/root/repo/target/debug/deps/chaos_report-85d8616e4aeea049: crates/bench/src/bin/chaos_report.rs
+
+crates/bench/src/bin/chaos_report.rs:

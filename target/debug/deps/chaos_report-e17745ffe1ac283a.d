@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_report-e17745ffe1ac283a.d: crates/bench/src/bin/chaos_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_report-e17745ffe1ac283a.rmeta: crates/bench/src/bin/chaos_report.rs Cargo.toml
+
+crates/bench/src/bin/chaos_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

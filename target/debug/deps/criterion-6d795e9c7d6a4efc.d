@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6d795e9c7d6a4efc.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6d795e9c7d6a4efc.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-1089b8536e57d3e5.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-1089b8536e57d3e5.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-40595975945a59de.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-40595975945a59de.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-40595975945a59de.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto_table-85cbdb295b279d0b.d: crates/bench/src/bin/crypto_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto_table-85cbdb295b279d0b.rmeta: crates/bench/src/bin/crypto_table.rs Cargo.toml
+
+crates/bench/src/bin/crypto_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

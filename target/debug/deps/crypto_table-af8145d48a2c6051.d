@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crypto_table-af8145d48a2c6051.d: crates/bench/src/bin/crypto_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrypto_table-af8145d48a2c6051.rmeta: crates/bench/src/bin/crypto_table.rs Cargo.toml
+
+crates/bench/src/bin/crypto_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crypto_table-f9632cf8fcc758d3.d: crates/bench/src/bin/crypto_table.rs
+
+/root/repo/target/debug/deps/crypto_table-f9632cf8fcc758d3: crates/bench/src/bin/crypto_table.rs
+
+crates/bench/src/bin/crypto_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/debug_netmetrics-f267e96ce1b82b79.d: tests/debug_netmetrics.rs
+
+/root/repo/target/debug/deps/debug_netmetrics-f267e96ce1b82b79: tests/debug_netmetrics.rs
+
+tests/debug_netmetrics.rs:

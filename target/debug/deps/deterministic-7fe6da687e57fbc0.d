@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deterministic-7fe6da687e57fbc0.d: crates/tracing/tests/deterministic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterministic-7fe6da687e57fbc0.rmeta: crates/tracing/tests/deterministic.rs Cargo.toml
+
+crates/tracing/tests/deterministic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

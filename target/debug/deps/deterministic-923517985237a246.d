@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deterministic-923517985237a246.d: crates/tracing/tests/deterministic.rs
+
+/root/repo/target/debug/deps/deterministic-923517985237a246: crates/tracing/tests/deterministic.rs
+
+crates/tracing/tests/deterministic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-a8d2011278c7f4c5.d: crates/broker/tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-a8d2011278c7f4c5: crates/broker/tests/edge_cases.rs
+
+crates/broker/tests/edge_cases.rs:

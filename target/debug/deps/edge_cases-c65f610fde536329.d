@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_cases-c65f610fde536329.d: crates/broker/tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-c65f610fde536329.rmeta: crates/broker/tests/edge_cases.rs Cargo.toml
+
+crates/broker/tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

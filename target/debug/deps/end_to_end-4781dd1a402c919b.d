@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end-4781dd1a402c919b.d: crates/tracing/tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-4781dd1a402c919b.rmeta: crates/tracing/tests/end_to_end.rs Cargo.toml
+
+crates/tracing/tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e3f95810926a18cd.d: crates/tracing/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e3f95810926a18cd: crates/tracing/tests/end_to_end.rs
+
+crates/tracing/tests/end_to_end.rs:

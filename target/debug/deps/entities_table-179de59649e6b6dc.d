@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/entities_table-179de59649e6b6dc.d: crates/bench/src/bin/entities_table.rs
+
+/root/repo/target/debug/deps/entities_table-179de59649e6b6dc: crates/bench/src/bin/entities_table.rs
+
+crates/bench/src/bin/entities_table.rs:

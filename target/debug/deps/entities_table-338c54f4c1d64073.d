@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/entities_table-338c54f4c1d64073.d: crates/bench/src/bin/entities_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libentities_table-338c54f4c1d64073.rmeta: crates/bench/src/bin/entities_table.rs Cargo.toml
+
+crates/bench/src/bin/entities_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/entity_tracing-50b1f7ec2021af06.d: src/lib.rs
+
+/root/repo/target/debug/deps/libentity_tracing-50b1f7ec2021af06.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libentity_tracing-50b1f7ec2021af06.rmeta: src/lib.rs
+
+src/lib.rs:

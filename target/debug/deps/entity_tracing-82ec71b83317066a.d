@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/entity_tracing-82ec71b83317066a.d: src/lib.rs
+
+/root/repo/target/debug/deps/entity_tracing-82ec71b83317066a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/entity_tracing-93b38657be3f102a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libentity_tracing-93b38657be3f102a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

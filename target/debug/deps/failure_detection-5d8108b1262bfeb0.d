@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_detection-5d8108b1262bfeb0.d: crates/bench/benches/failure_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_detection-5d8108b1262bfeb0.rmeta: crates/bench/benches/failure_detection.rs Cargo.toml
+
+crates/bench/benches/failure_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

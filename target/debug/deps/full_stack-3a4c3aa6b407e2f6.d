@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_stack-3a4c3aa6b407e2f6.d: tests/full_stack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_stack-3a4c3aa6b407e2f6.rmeta: tests/full_stack.rs Cargo.toml
+
+tests/full_stack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_stack-7e1e04eab169132a.d: tests/full_stack.rs
+
+/root/repo/target/debug/deps/full_stack-7e1e04eab169132a: tests/full_stack.rs
+
+tests/full_stack.rs:

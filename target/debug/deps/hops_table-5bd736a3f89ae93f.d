@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hops_table-5bd736a3f89ae93f.d: crates/bench/src/bin/hops_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhops_table-5bd736a3f89ae93f.rmeta: crates/bench/src/bin/hops_table.rs Cargo.toml
+
+crates/bench/src/bin/hops_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

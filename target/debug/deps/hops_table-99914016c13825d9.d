@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hops_table-99914016c13825d9.d: crates/bench/src/bin/hops_table.rs
+
+/root/repo/target/debug/deps/hops_table-99914016c13825d9: crates/bench/src/bin/hops_table.rs
+
+crates/bench/src/bin/hops_table.rs:

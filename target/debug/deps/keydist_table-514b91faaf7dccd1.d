@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/keydist_table-514b91faaf7dccd1.d: crates/bench/src/bin/keydist_table.rs
+
+/root/repo/target/debug/deps/keydist_table-514b91faaf7dccd1: crates/bench/src/bin/keydist_table.rs
+
+crates/bench/src/bin/keydist_table.rs:

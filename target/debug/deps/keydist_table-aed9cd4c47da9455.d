@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/keydist_table-aed9cd4c47da9455.d: crates/bench/src/bin/keydist_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkeydist_table-aed9cd4c47da9455.rmeta: crates/bench/src/bin/keydist_table.rs Cargo.toml
+
+crates/bench/src/bin/keydist_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lossy_repair-c6bf5d441c451dca.d: crates/broker/tests/lossy_repair.rs
+
+/root/repo/target/debug/deps/lossy_repair-c6bf5d441c451dca: crates/broker/tests/lossy_repair.rs
+
+crates/broker/tests/lossy_repair.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lossy_repair-f27816ff0b786dfa.d: crates/broker/tests/lossy_repair.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblossy_repair-f27816ff0b786dfa.rmeta: crates/broker/tests/lossy_repair.rs Cargo.toml
+
+crates/broker/tests/lossy_repair.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

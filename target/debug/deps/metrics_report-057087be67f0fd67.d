@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/metrics_report-057087be67f0fd67.d: crates/bench/src/bin/metrics_report.rs
+
+/root/repo/target/debug/deps/metrics_report-057087be67f0fd67: crates/bench/src/bin/metrics_report.rs
+
+crates/bench/src/bin/metrics_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_report-d7aba15512c17a8b.d: crates/bench/src/bin/metrics_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_report-d7aba15512c17a8b.rmeta: crates/bench/src/bin/metrics_report.rs Cargo.toml
+
+crates/bench/src/bin/metrics_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/metrics_report-db9b8be3252dec3c.d: crates/bench/src/bin/metrics_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmetrics_report-db9b8be3252dec3c.rmeta: crates/bench/src/bin/metrics_report.rs Cargo.toml
+
+crates/bench/src/bin/metrics_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

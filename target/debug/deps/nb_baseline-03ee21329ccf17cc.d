@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nb_baseline-03ee21329ccf17cc.d: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_baseline-03ee21329ccf17cc.rmeta: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/gossip.rs:
+crates/baseline/src/naive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

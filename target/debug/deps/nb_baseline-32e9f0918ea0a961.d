@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nb_baseline-32e9f0918ea0a961.d: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+/root/repo/target/debug/deps/libnb_baseline-32e9f0918ea0a961.rlib: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+/root/repo/target/debug/deps/libnb_baseline-32e9f0918ea0a961.rmeta: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/gossip.rs:
+crates/baseline/src/naive.rs:

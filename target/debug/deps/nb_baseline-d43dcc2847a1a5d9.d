@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nb_baseline-d43dcc2847a1a5d9.d: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+/root/repo/target/debug/deps/nb_baseline-d43dcc2847a1a5d9: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/gossip.rs:
+crates/baseline/src/naive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nb_bench-1cf6410186dea63a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_bench-1cf6410186dea63a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

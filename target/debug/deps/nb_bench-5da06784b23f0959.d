@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nb_bench-5da06784b23f0959.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnb_bench-5da06784b23f0959.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnb_bench-5da06784b23f0959.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

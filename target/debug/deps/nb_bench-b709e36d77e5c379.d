@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nb_bench-b709e36d77e5c379.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_bench-b709e36d77e5c379.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nb_bench-badc7c1ac19e2336.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/nb_bench-badc7c1ac19e2336: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

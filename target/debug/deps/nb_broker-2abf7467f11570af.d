@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nb_broker-2abf7467f11570af.d: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+/root/repo/target/debug/deps/nb_broker-2abf7467f11570af: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/client.rs:
+crates/broker/src/discovery.rs:
+crates/broker/src/error.rs:
+crates/broker/src/network.rs:
+crates/broker/src/node.rs:
+crates/broker/src/subscription.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nb_broker-5e50fa923ed40d7c.d: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_broker-5e50fa923ed40d7c.rmeta: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs Cargo.toml
+
+crates/broker/src/lib.rs:
+crates/broker/src/client.rs:
+crates/broker/src/discovery.rs:
+crates/broker/src/error.rs:
+crates/broker/src/network.rs:
+crates/broker/src/node.rs:
+crates/broker/src/subscription.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

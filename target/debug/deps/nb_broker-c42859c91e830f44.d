@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nb_broker-c42859c91e830f44.d: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+/root/repo/target/debug/deps/libnb_broker-c42859c91e830f44.rlib: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+/root/repo/target/debug/deps/libnb_broker-c42859c91e830f44.rmeta: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/client.rs:
+crates/broker/src/discovery.rs:
+crates/broker/src/error.rs:
+crates/broker/src/network.rs:
+crates/broker/src/node.rs:
+crates/broker/src/subscription.rs:

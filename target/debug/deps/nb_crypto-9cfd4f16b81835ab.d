@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/nb_crypto-9cfd4f16b81835ab.d: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bigint/mod.rs crates/crypto/src/bigint/div.rs crates/crypto/src/bigint/modular.rs crates/crypto/src/instrument.rs crates/crypto/src/cert.rs crates/crypto/src/digest.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/hybrid.rs crates/crypto/src/modes.rs crates/crypto/src/padding.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/uuid.rs
+
+/root/repo/target/debug/deps/libnb_crypto-9cfd4f16b81835ab.rlib: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bigint/mod.rs crates/crypto/src/bigint/div.rs crates/crypto/src/bigint/modular.rs crates/crypto/src/instrument.rs crates/crypto/src/cert.rs crates/crypto/src/digest.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/hybrid.rs crates/crypto/src/modes.rs crates/crypto/src/padding.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/uuid.rs
+
+/root/repo/target/debug/deps/libnb_crypto-9cfd4f16b81835ab.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aes.rs crates/crypto/src/bigint/mod.rs crates/crypto/src/bigint/div.rs crates/crypto/src/bigint/modular.rs crates/crypto/src/instrument.rs crates/crypto/src/cert.rs crates/crypto/src/digest.rs crates/crypto/src/error.rs crates/crypto/src/hmac.rs crates/crypto/src/hybrid.rs crates/crypto/src/modes.rs crates/crypto/src/padding.rs crates/crypto/src/prime.rs crates/crypto/src/rsa.rs crates/crypto/src/sha1.rs crates/crypto/src/sha256.rs crates/crypto/src/uuid.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aes.rs:
+crates/crypto/src/bigint/mod.rs:
+crates/crypto/src/bigint/div.rs:
+crates/crypto/src/bigint/modular.rs:
+crates/crypto/src/instrument.rs:
+crates/crypto/src/cert.rs:
+crates/crypto/src/digest.rs:
+crates/crypto/src/error.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/hybrid.rs:
+crates/crypto/src/modes.rs:
+crates/crypto/src/padding.rs:
+crates/crypto/src/prime.rs:
+crates/crypto/src/rsa.rs:
+crates/crypto/src/sha1.rs:
+crates/crypto/src/sha256.rs:
+crates/crypto/src/uuid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nb_metrics-ddc4ce644f588d29.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+/root/repo/target/debug/deps/nb_metrics-ddc4ce644f588d29: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:
+crates/metrics/src/timer.rs:

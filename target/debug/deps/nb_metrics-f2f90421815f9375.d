@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nb_metrics-f2f90421815f9375.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+/root/repo/target/debug/deps/libnb_metrics-f2f90421815f9375.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+/root/repo/target/debug/deps/libnb_metrics-f2f90421815f9375.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:
+crates/metrics/src/timer.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nb_metrics-f7310bfa768fd0f3.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_metrics-f7310bfa768fd0f3.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:
+crates/metrics/src/timer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

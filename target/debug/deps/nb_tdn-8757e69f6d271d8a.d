@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nb_tdn-8757e69f6d271d8a.d: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+/root/repo/target/debug/deps/libnb_tdn-8757e69f6d271d8a.rlib: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+/root/repo/target/debug/deps/libnb_tdn-8757e69f6d271d8a.rmeta: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+crates/tdn/src/lib.rs:
+crates/tdn/src/cluster.rs:
+crates/tdn/src/node.rs:
+crates/tdn/src/query.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nb_tdn-a2b330122fdd2f21.d: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+/root/repo/target/debug/deps/nb_tdn-a2b330122fdd2f21: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+crates/tdn/src/lib.rs:
+crates/tdn/src/cluster.rs:
+crates/tdn/src/node.rs:
+crates/tdn/src/query.rs:

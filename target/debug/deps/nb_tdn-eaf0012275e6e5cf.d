@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nb_tdn-eaf0012275e6e5cf.d: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_tdn-eaf0012275e6e5cf.rmeta: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs Cargo.toml
+
+crates/tdn/src/lib.rs:
+crates/tdn/src/cluster.rs:
+crates/tdn/src/node.rs:
+crates/tdn/src/query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nb_telemetry-388fd486698ef6e0.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_telemetry-388fd486698ef6e0.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

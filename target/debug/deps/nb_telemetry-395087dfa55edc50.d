@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nb_telemetry-395087dfa55edc50.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+/root/repo/target/debug/deps/nb_telemetry-395087dfa55edc50: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sampler.rs:

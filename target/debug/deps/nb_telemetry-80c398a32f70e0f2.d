@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nb_telemetry-80c398a32f70e0f2.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+/root/repo/target/debug/deps/libnb_telemetry-80c398a32f70e0f2.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+/root/repo/target/debug/deps/libnb_telemetry-80c398a32f70e0f2.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sampler.rs:

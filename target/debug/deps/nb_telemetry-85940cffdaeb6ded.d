@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nb_telemetry-85940cffdaeb6ded.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_telemetry-85940cffdaeb6ded.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

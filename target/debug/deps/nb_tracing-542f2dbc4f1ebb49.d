@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/nb_tracing-542f2dbc4f1ebb49.d: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+/root/repo/target/debug/deps/libnb_tracing-542f2dbc4f1ebb49.rlib: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+/root/repo/target/debug/deps/libnb_tracing-542f2dbc4f1ebb49.rmeta: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+crates/tracing/src/lib.rs:
+crates/tracing/src/channels.rs:
+crates/tracing/src/config.rs:
+crates/tracing/src/engine.rs:
+crates/tracing/src/entity.rs:
+crates/tracing/src/error.rs:
+crates/tracing/src/failure.rs:
+crates/tracing/src/harness.rs:
+crates/tracing/src/interest.rs:
+crates/tracing/src/tracker.rs:
+crates/tracing/src/view.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nb_tracing-d049dda37b0298d2.d: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+/root/repo/target/debug/deps/nb_tracing-d049dda37b0298d2: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+crates/tracing/src/lib.rs:
+crates/tracing/src/channels.rs:
+crates/tracing/src/config.rs:
+crates/tracing/src/engine.rs:
+crates/tracing/src/entity.rs:
+crates/tracing/src/error.rs:
+crates/tracing/src/failure.rs:
+crates/tracing/src/harness.rs:
+crates/tracing/src/interest.rs:
+crates/tracing/src/tracker.rs:
+crates/tracing/src/view.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nb_tracing-e94d523993c02d04.d: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_tracing-e94d523993c02d04.rmeta: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs Cargo.toml
+
+crates/tracing/src/lib.rs:
+crates/tracing/src/channels.rs:
+crates/tracing/src/config.rs:
+crates/tracing/src/engine.rs:
+crates/tracing/src/entity.rs:
+crates/tracing/src/error.rs:
+crates/tracing/src/failure.rs:
+crates/tracing/src/harness.rs:
+crates/tracing/src/interest.rs:
+crates/tracing/src/tracker.rs:
+crates/tracing/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nb_transport-2fd046564052307c.d: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_transport-2fd046564052307c.rmeta: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs Cargo.toml
+
+crates/transport/src/lib.rs:
+crates/transport/src/clock.rs:
+crates/transport/src/endpoint.rs:
+crates/transport/src/error.rs:
+crates/transport/src/instrument.rs:
+crates/transport/src/metrics.rs:
+crates/transport/src/sim.rs:
+crates/transport/src/supervisor.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nb_transport-abfc4f8172bfb3f9.d: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/nb_transport-abfc4f8172bfb3f9: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/clock.rs:
+crates/transport/src/endpoint.rs:
+crates/transport/src/error.rs:
+crates/transport/src/instrument.rs:
+crates/transport/src/metrics.rs:
+crates/transport/src/sim.rs:
+crates/transport/src/supervisor.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nb_transport-cda2fb539a0d35d3.d: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libnb_transport-cda2fb539a0d35d3.rlib: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/debug/deps/libnb_transport-cda2fb539a0d35d3.rmeta: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/clock.rs:
+crates/transport/src/endpoint.rs:
+crates/transport/src/error.rs:
+crates/transport/src/instrument.rs:
+crates/transport/src/metrics.rs:
+crates/transport/src/sim.rs:
+crates/transport/src/supervisor.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

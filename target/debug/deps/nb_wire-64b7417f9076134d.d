@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nb_wire-64b7417f9076134d.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/constrained.rs crates/wire/src/error.rs crates/wire/src/instrument.rs crates/wire/src/message.rs crates/wire/src/payload.rs crates/wire/src/token.rs crates/wire/src/topic.rs crates/wire/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnb_wire-64b7417f9076134d.rmeta: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/constrained.rs crates/wire/src/error.rs crates/wire/src/instrument.rs crates/wire/src/message.rs crates/wire/src/payload.rs crates/wire/src/token.rs crates/wire/src/topic.rs crates/wire/src/trace.rs Cargo.toml
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/constrained.rs:
+crates/wire/src/error.rs:
+crates/wire/src/instrument.rs:
+crates/wire/src/message.rs:
+crates/wire/src/payload.rs:
+crates/wire/src/token.rs:
+crates/wire/src/topic.rs:
+crates/wire/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nb_wire-70df58045b7cbf00.d: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/constrained.rs crates/wire/src/error.rs crates/wire/src/instrument.rs crates/wire/src/message.rs crates/wire/src/payload.rs crates/wire/src/token.rs crates/wire/src/topic.rs crates/wire/src/trace.rs
+
+/root/repo/target/debug/deps/nb_wire-70df58045b7cbf00: crates/wire/src/lib.rs crates/wire/src/codec.rs crates/wire/src/constrained.rs crates/wire/src/error.rs crates/wire/src/instrument.rs crates/wire/src/message.rs crates/wire/src/payload.rs crates/wire/src/token.rs crates/wire/src/topic.rs crates/wire/src/trace.rs
+
+crates/wire/src/lib.rs:
+crates/wire/src/codec.rs:
+crates/wire/src/constrained.rs:
+crates/wire/src/error.rs:
+crates/wire/src/instrument.rs:
+crates/wire/src/message.rs:
+crates/wire/src/payload.rs:
+crates/wire/src/token.rs:
+crates/wire/src/topic.rs:
+crates/wire/src/trace.rs:

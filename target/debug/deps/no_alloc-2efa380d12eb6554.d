@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_alloc-2efa380d12eb6554.d: crates/telemetry/tests/no_alloc.rs
+
+/root/repo/target/debug/deps/no_alloc-2efa380d12eb6554: crates/telemetry/tests/no_alloc.rs
+
+crates/telemetry/tests/no_alloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/no_alloc-fe61d77ae3bb372b.d: crates/telemetry/tests/no_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_alloc-fe61d77ae3bb372b.rmeta: crates/telemetry/tests/no_alloc.rs Cargo.toml
+
+crates/telemetry/tests/no_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_tables-ab65e0afc84173d6.d: crates/bench/benches/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-ab65e0afc84173d6.rmeta: crates/bench/benches/paper_tables.rs Cargo.toml
+
+crates/bench/benches/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CARGO=/root/.rustup/toolchains/stable-x86_64-unknown-linux-gnu/bin/cargo
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

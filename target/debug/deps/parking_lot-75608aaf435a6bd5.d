@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-75608aaf435a6bd5.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-75608aaf435a6bd5.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

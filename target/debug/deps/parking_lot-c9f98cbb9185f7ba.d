@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-c9f98cbb9185f7ba.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c9f98cbb9185f7ba.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c9f98cbb9185f7ba.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

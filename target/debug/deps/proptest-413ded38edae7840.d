@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-413ded38edae7840.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-413ded38edae7840.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

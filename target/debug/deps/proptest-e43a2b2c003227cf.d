@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-e43a2b2c003227cf.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e43a2b2c003227cf.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-e43a2b2c003227cf.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-27395433f8546654.d: crates/broker/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-27395433f8546654.rmeta: crates/broker/tests/proptests.rs Cargo.toml
+
+crates/broker/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-55dc3211045f24a1.d: crates/tracing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-55dc3211045f24a1: crates/tracing/tests/proptests.rs
+
+crates/tracing/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-88b7da75e66847d1.d: crates/broker/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-88b7da75e66847d1: crates/broker/tests/proptests.rs
+
+crates/broker/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-d9f322a17128e552.d: crates/tracing/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-d9f322a17128e552.rmeta: crates/tracing/tests/proptests.rs Cargo.toml
+
+crates/tracing/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

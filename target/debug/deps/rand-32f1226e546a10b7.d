@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-32f1226e546a10b7.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-32f1226e546a10b7.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-32f1226e546a10b7.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

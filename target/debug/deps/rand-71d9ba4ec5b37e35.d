@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-71d9ba4ec5b37e35.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-71d9ba4ec5b37e35.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

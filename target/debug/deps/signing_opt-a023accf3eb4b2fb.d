@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/signing_opt-a023accf3eb4b2fb.d: crates/bench/src/bin/signing_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigning_opt-a023accf3eb4b2fb.rmeta: crates/bench/src/bin/signing_opt.rs Cargo.toml
+
+crates/bench/src/bin/signing_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signing_opt-c239601320e6f252.d: crates/bench/src/bin/signing_opt.rs
+
+/root/repo/target/debug/deps/signing_opt-c239601320e6f252: crates/bench/src/bin/signing_opt.rs
+
+crates/bench/src/bin/signing_opt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/signing_opt-e271ed161e2ad5b8.d: crates/bench/src/bin/signing_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigning_opt-e271ed161e2ad5b8.rmeta: crates/bench/src/bin/signing_opt.rs Cargo.toml
+
+crates/bench/src/bin/signing_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

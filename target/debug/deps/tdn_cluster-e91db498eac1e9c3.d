@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tdn_cluster-e91db498eac1e9c3.d: crates/tdn/tests/tdn_cluster.rs
+
+/root/repo/target/debug/deps/tdn_cluster-e91db498eac1e9c3: crates/tdn/tests/tdn_cluster.rs
+
+crates/tdn/tests/tdn_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_report-1938d2ca49e0d886.d: crates/bench/src/bin/trace_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_report-1938d2ca49e0d886.rmeta: crates/bench/src/bin/trace_report.rs Cargo.toml
+
+crates/bench/src/bin/trace_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

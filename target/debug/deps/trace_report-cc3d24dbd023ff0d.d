@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_report-cc3d24dbd023ff0d.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/debug/deps/trace_report-cc3d24dbd023ff0d: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:

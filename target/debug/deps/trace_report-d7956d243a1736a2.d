@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_report-d7956d243a1736a2.d: crates/bench/src/bin/trace_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_report-d7956d243a1736a2.rmeta: crates/bench/src/bin/trace_report.rs Cargo.toml
+
+crates/bench/src/bin/trace_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

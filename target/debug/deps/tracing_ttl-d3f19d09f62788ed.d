@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tracing_ttl-d3f19d09f62788ed.d: crates/broker/tests/tracing_ttl.rs
+
+/root/repo/target/debug/deps/tracing_ttl-d3f19d09f62788ed: crates/broker/tests/tracing_ttl.rs
+
+crates/broker/tests/tracing_ttl.rs:

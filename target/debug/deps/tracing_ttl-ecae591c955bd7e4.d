@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tracing_ttl-ecae591c955bd7e4.d: crates/broker/tests/tracing_ttl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtracing_ttl-ecae591c955bd7e4.rmeta: crates/broker/tests/tracing_ttl.rs Cargo.toml
+
+crates/broker/tests/tracing_ttl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trackers_sweep-043c8e85d2f2d9e8.d: crates/bench/src/bin/trackers_sweep.rs
+
+/root/repo/target/debug/deps/trackers_sweep-043c8e85d2f2d9e8: crates/bench/src/bin/trackers_sweep.rs
+
+crates/bench/src/bin/trackers_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trackers_sweep-a62d1f0460604b65.d: crates/bench/src/bin/trackers_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrackers_sweep-a62d1f0460604b65.rmeta: crates/bench/src/bin/trackers_sweep.rs Cargo.toml
+
+crates/bench/src/bin/trackers_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

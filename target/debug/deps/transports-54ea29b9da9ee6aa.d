@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transports-54ea29b9da9ee6aa.d: crates/tracing/tests/transports.rs
+
+/root/repo/target/debug/deps/transports-54ea29b9da9ee6aa: crates/tracing/tests/transports.rs
+
+crates/tracing/tests/transports.rs:

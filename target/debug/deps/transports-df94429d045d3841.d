@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transports-df94429d045d3841.d: crates/tracing/tests/transports.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransports-df94429d045d3841.rmeta: crates/tracing/tests/transports.rs Cargo.toml
+
+crates/tracing/tests/transports.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_compat-3e169543425ba722.d: crates/wire/tests/wire_compat.rs
+
+/root/repo/target/debug/deps/wire_compat-3e169543425ba722: crates/wire/tests/wire_compat.rs
+
+crates/wire/tests/wire_compat.rs:

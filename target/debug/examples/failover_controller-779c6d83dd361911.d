@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/failover_controller-779c6d83dd361911.d: examples/failover_controller.rs
+
+/root/repo/target/debug/examples/failover_controller-779c6d83dd361911: examples/failover_controller.rs
+
+examples/failover_controller.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/failover_controller-cc50b7a8bc7cd565.d: examples/failover_controller.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfailover_controller-cc50b7a8bc7cd565.rmeta: examples/failover_controller.rs Cargo.toml
+
+examples/failover_controller.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/grid_service_monitor-22b32a1c94946f7b.d: examples/grid_service_monitor.rs
+
+/root/repo/target/debug/examples/grid_service_monitor-22b32a1c94946f7b: examples/grid_service_monitor.rs
+
+examples/grid_service_monitor.rs:

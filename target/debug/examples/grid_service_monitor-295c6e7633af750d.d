@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/grid_service_monitor-295c6e7633af750d.d: examples/grid_service_monitor.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgrid_service_monitor-295c6e7633af750d.rmeta: examples/grid_service_monitor.rs Cargo.toml
+
+examples/grid_service_monitor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-39f25c7de52d4ad6.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-39f25c7de52d4ad6.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c25d6557d797e297.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c25d6557d797e297: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_fleet_tracker-8de79d4433e185da.d: examples/secure_fleet_tracker.rs
+
+/root/repo/target/debug/examples/secure_fleet_tracker-8de79d4433e185da: examples/secure_fleet_tracker.rs
+
+examples/secure_fleet_tracker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_fleet_tracker-9f1b99a678333927.d: examples/secure_fleet_tracker.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_fleet_tracker-9f1b99a678333927.rmeta: examples/secure_fleet_tracker.rs Cargo.toml
+
+examples/secure_fleet_tracker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

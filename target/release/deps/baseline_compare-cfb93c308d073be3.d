@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baseline_compare-cfb93c308d073be3.d: crates/bench/src/bin/baseline_compare.rs
+
+/root/repo/target/release/deps/baseline_compare-cfb93c308d073be3: crates/bench/src/bin/baseline_compare.rs
+
+crates/bench/src/bin/baseline_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_report-a79ba11de60cc603.d: crates/bench/src/bin/chaos_report.rs
+
+/root/repo/target/release/deps/chaos_report-a79ba11de60cc603: crates/bench/src/bin/chaos_report.rs
+
+crates/bench/src/bin/chaos_report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-710c519c2f01d8ad.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-710c519c2f01d8ad.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-710c519c2f01d8ad.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

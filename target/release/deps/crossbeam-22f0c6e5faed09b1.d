@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-22f0c6e5faed09b1.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-22f0c6e5faed09b1.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-22f0c6e5faed09b1.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

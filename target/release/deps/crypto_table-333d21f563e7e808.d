@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crypto_table-333d21f563e7e808.d: crates/bench/src/bin/crypto_table.rs
+
+/root/repo/target/release/deps/crypto_table-333d21f563e7e808: crates/bench/src/bin/crypto_table.rs
+
+crates/bench/src/bin/crypto_table.rs:

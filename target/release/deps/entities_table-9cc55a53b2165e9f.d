@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/entities_table-9cc55a53b2165e9f.d: crates/bench/src/bin/entities_table.rs
+
+/root/repo/target/release/deps/entities_table-9cc55a53b2165e9f: crates/bench/src/bin/entities_table.rs
+
+crates/bench/src/bin/entities_table.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/entity_tracing-0373c2481d84475a.d: src/lib.rs
+
+/root/repo/target/release/deps/libentity_tracing-0373c2481d84475a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libentity_tracing-0373c2481d84475a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hops_table-f4e31c38ccb984c4.d: crates/bench/src/bin/hops_table.rs
+
+/root/repo/target/release/deps/hops_table-f4e31c38ccb984c4: crates/bench/src/bin/hops_table.rs
+
+crates/bench/src/bin/hops_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/keydist_table-2799475cc35f4f0c.d: crates/bench/src/bin/keydist_table.rs
+
+/root/repo/target/release/deps/keydist_table-2799475cc35f4f0c: crates/bench/src/bin/keydist_table.rs
+
+crates/bench/src/bin/keydist_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/metrics_report-7384b91ed204fe7a.d: crates/bench/src/bin/metrics_report.rs
+
+/root/repo/target/release/deps/metrics_report-7384b91ed204fe7a: crates/bench/src/bin/metrics_report.rs
+
+crates/bench/src/bin/metrics_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/nb_baseline-442e30486fa3f952.d: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+/root/repo/target/release/deps/libnb_baseline-442e30486fa3f952.rlib: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+/root/repo/target/release/deps/libnb_baseline-442e30486fa3f952.rmeta: crates/baseline/src/lib.rs crates/baseline/src/gossip.rs crates/baseline/src/naive.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/gossip.rs:
+crates/baseline/src/naive.rs:

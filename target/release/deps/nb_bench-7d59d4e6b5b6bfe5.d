@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nb_bench-7d59d4e6b5b6bfe5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnb_bench-7d59d4e6b5b6bfe5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnb_bench-7d59d4e6b5b6bfe5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nb_broker-28cf3992aeb187cd.d: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+/root/repo/target/release/deps/libnb_broker-28cf3992aeb187cd.rlib: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+/root/repo/target/release/deps/libnb_broker-28cf3992aeb187cd.rmeta: crates/broker/src/lib.rs crates/broker/src/client.rs crates/broker/src/discovery.rs crates/broker/src/error.rs crates/broker/src/network.rs crates/broker/src/node.rs crates/broker/src/subscription.rs
+
+crates/broker/src/lib.rs:
+crates/broker/src/client.rs:
+crates/broker/src/discovery.rs:
+crates/broker/src/error.rs:
+crates/broker/src/network.rs:
+crates/broker/src/node.rs:
+crates/broker/src/subscription.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nb_metrics-4dc920b71d594f60.d: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+/root/repo/target/release/deps/libnb_metrics-4dc920b71d594f60.rlib: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+/root/repo/target/release/deps/libnb_metrics-4dc920b71d594f60.rmeta: crates/metrics/src/lib.rs crates/metrics/src/histogram.rs crates/metrics/src/registry.rs crates/metrics/src/snapshot.rs crates/metrics/src/timer.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/histogram.rs:
+crates/metrics/src/registry.rs:
+crates/metrics/src/snapshot.rs:
+crates/metrics/src/timer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nb_tdn-6bde3470d8397f6b.d: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+/root/repo/target/release/deps/libnb_tdn-6bde3470d8397f6b.rlib: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+/root/repo/target/release/deps/libnb_tdn-6bde3470d8397f6b.rmeta: crates/tdn/src/lib.rs crates/tdn/src/cluster.rs crates/tdn/src/node.rs crates/tdn/src/query.rs
+
+crates/tdn/src/lib.rs:
+crates/tdn/src/cluster.rs:
+crates/tdn/src/node.rs:
+crates/tdn/src/query.rs:

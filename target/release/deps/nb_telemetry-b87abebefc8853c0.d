@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nb_telemetry-b87abebefc8853c0.d: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+/root/repo/target/release/deps/libnb_telemetry-b87abebefc8853c0.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+/root/repo/target/release/deps/libnb_telemetry-b87abebefc8853c0.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/context.rs crates/telemetry/src/export.rs crates/telemetry/src/recorder.rs crates/telemetry/src/sampler.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/context.rs:
+crates/telemetry/src/export.rs:
+crates/telemetry/src/recorder.rs:
+crates/telemetry/src/sampler.rs:

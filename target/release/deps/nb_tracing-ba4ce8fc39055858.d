@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/nb_tracing-ba4ce8fc39055858.d: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+/root/repo/target/release/deps/libnb_tracing-ba4ce8fc39055858.rlib: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+/root/repo/target/release/deps/libnb_tracing-ba4ce8fc39055858.rmeta: crates/tracing/src/lib.rs crates/tracing/src/channels.rs crates/tracing/src/config.rs crates/tracing/src/engine.rs crates/tracing/src/entity.rs crates/tracing/src/error.rs crates/tracing/src/failure.rs crates/tracing/src/harness.rs crates/tracing/src/interest.rs crates/tracing/src/tracker.rs crates/tracing/src/view.rs
+
+crates/tracing/src/lib.rs:
+crates/tracing/src/channels.rs:
+crates/tracing/src/config.rs:
+crates/tracing/src/engine.rs:
+crates/tracing/src/entity.rs:
+crates/tracing/src/error.rs:
+crates/tracing/src/failure.rs:
+crates/tracing/src/harness.rs:
+crates/tracing/src/interest.rs:
+crates/tracing/src/tracker.rs:
+crates/tracing/src/view.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/nb_transport-b2a276f4f294e6eb.d: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/release/deps/libnb_transport-b2a276f4f294e6eb.rlib: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+/root/repo/target/release/deps/libnb_transport-b2a276f4f294e6eb.rmeta: crates/transport/src/lib.rs crates/transport/src/clock.rs crates/transport/src/endpoint.rs crates/transport/src/error.rs crates/transport/src/instrument.rs crates/transport/src/metrics.rs crates/transport/src/sim.rs crates/transport/src/supervisor.rs crates/transport/src/tcp.rs crates/transport/src/udp.rs
+
+crates/transport/src/lib.rs:
+crates/transport/src/clock.rs:
+crates/transport/src/endpoint.rs:
+crates/transport/src/error.rs:
+crates/transport/src/instrument.rs:
+crates/transport/src/metrics.rs:
+crates/transport/src/sim.rs:
+crates/transport/src/supervisor.rs:
+crates/transport/src/tcp.rs:
+crates/transport/src/udp.rs:

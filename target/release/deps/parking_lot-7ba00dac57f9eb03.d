@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-7ba00dac57f9eb03.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-7ba00dac57f9eb03.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-7ba00dac57f9eb03.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

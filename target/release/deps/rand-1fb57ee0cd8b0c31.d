@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1fb57ee0cd8b0c31.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1fb57ee0cd8b0c31.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1fb57ee0cd8b0c31.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

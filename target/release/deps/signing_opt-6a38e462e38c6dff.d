@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/signing_opt-6a38e462e38c6dff.d: crates/bench/src/bin/signing_opt.rs
+
+/root/repo/target/release/deps/signing_opt-6a38e462e38c6dff: crates/bench/src/bin/signing_opt.rs
+
+crates/bench/src/bin/signing_opt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_report-302b34f6225558ce.d: crates/bench/src/bin/trace_report.rs
+
+/root/repo/target/release/deps/trace_report-302b34f6225558ce: crates/bench/src/bin/trace_report.rs
+
+crates/bench/src/bin/trace_report.rs:

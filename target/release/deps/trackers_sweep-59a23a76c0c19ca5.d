@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trackers_sweep-59a23a76c0c19ca5.d: crates/bench/src/bin/trackers_sweep.rs
+
+/root/repo/target/release/deps/trackers_sweep-59a23a76c0c19ca5: crates/bench/src/bin/trackers_sweep.rs
+
+crates/bench/src/bin/trackers_sweep.rs:
