@@ -43,6 +43,32 @@ if ! $quick; then
     # repair cycles appear in the link metrics.
     echo "== chaos report (smoke) =="
     cargo run --release -p nb-bench --bin chaos_report -- --smoke
+
+    # Data-plane smoke: saturates a loopback broker with the route
+    # cache off and on, asserts (inside the binary) exact delivery and
+    # that the overhauled path wins, and writes BENCH_throughput.json;
+    # then validate the JSON shape documented in docs/PERFORMANCE.md.
+    echo "== throughput report (quick) =="
+    cargo run --release -p nb-bench --bin throughput_report -- --quick
+    python3 - <<'PY'
+import json
+with open("BENCH_throughput.json") as f:
+    report = json.load(f)
+assert report["bench"] == "throughput_report"
+assert report["mode"] in ("quick", "full")
+assert report["threads"] >= 1
+for section in ("baseline", "overhauled"):
+    run = report[section]
+    for key in ("msgs_per_sec", "p50_route_ns", "p99_route_ns",
+                "delivered", "fastpath", "slowpath",
+                "cache_hits", "cache_stale"):
+        assert key in run, f"{section}.{key} missing"
+    assert run["msgs_per_sec"] > 0
+assert report["overhauled"]["fastpath"] > 0
+assert report["speedup"] > 1.0
+print("BENCH_throughput.json shape OK "
+      f"(speedup {report['speedup']}x)")
+PY
 fi
 
 echo "CI OK"

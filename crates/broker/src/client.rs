@@ -50,7 +50,7 @@ impl BrokerClient {
         };
         // Control messages may be lost on unreliable links; retry a
         // few times within the overall timeout.
-        let attempts = 6u32;
+        let attempts = 16u32;
         let per_attempt = timeout / attempts;
         let mut last_err = BrokerError::Timeout;
         for _ in 0..attempts {
@@ -118,7 +118,7 @@ impl BrokerClient {
         timeout: Duration,
         mut make_payload: impl FnMut() -> Payload,
     ) -> Result<()> {
-        let attempts = 6u32;
+        let attempts = 16u32;
         let per_attempt = timeout / attempts;
         let mut last_err = BrokerError::Timeout;
         for _ in 0..attempts {

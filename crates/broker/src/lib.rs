@@ -36,6 +36,7 @@ pub mod discovery;
 pub mod error;
 pub mod network;
 pub mod node;
+mod route;
 pub mod subscription;
 
 pub use client::BrokerClient;

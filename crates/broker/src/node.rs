@@ -2,6 +2,7 @@
 //! constrained-topic enforcement, token checks, and DoS containment.
 
 use crate::error::BrokerError;
+use crate::route::{ClientDest, NeighborDest, RouteCache, RouteEntry, TopicPolicy};
 use crate::subscription::SubscriptionTable;
 use crate::Result;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -15,10 +16,12 @@ use nb_transport::supervisor::{Connector, LinkState, LinkStats, LinkSupervisor, 
 use nb_wire::codec::{Decode, Encode};
 use nb_wire::constrained::{Action, Actor, AllowedActions, ConstrainedTopic, EventType};
 use nb_wire::token::Rights;
-use nb_wire::{Message, Payload, Topic};
+use nb_wire::payload::is_control_tag;
+use nb_wire::view::TopicView;
+use nb_wire::{Message, MessageView, Payload, Topic};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,6 +56,13 @@ pub struct BrokerConfig {
     /// reconnects with capped, jittered backoff. `None` keeps the
     /// historical behaviour (a failed link tears its worker down).
     pub link_supervision: Option<SupervisorConfig>,
+    /// Data-plane route cache (see `docs/PERFORMANCE.md`): when `true`
+    /// (the default), steady-state data frames are routed through a
+    /// sharded per-topic cache without decoding the envelope or taking
+    /// the broker state lock. `false` forces every frame through the
+    /// full decode-parse-match path — useful for A/B measurement and
+    /// as an escape hatch.
+    pub data_plane_cache: bool,
 }
 
 impl Default for BrokerConfig {
@@ -65,6 +75,7 @@ impl Default for BrokerConfig {
             max_hops: 16,
             telemetry: TelemetryConfig::default(),
             link_supervision: None,
+            data_plane_cache: true,
         }
     }
 }
@@ -190,7 +201,10 @@ pub struct StatsSnapshot {
 struct ClientHandle {
     sender: Arc<dyn FrameSender>,
     bogus: u32,
-    terminated: bool,
+    /// Shared with the client's worker thread and any cached route
+    /// entries, so termination takes effect immediately without a
+    /// state-lock check per frame.
+    terminated: Arc<AtomicBool>,
 }
 
 struct State {
@@ -216,6 +230,9 @@ struct Inner {
     /// [`Broker::wait_for_remote_subscription`]).
     subs_cv: Condvar,
     metrics: BrokerMetrics,
+    /// Sharded per-topic route cache backing the data-plane fast path
+    /// (see `crate::route`).
+    routes: RouteCache,
     /// Per-broker causal-tracing span ring.
     recorder: FlightRecorder,
     msg_seq: AtomicU64,
@@ -243,6 +260,8 @@ impl Broker {
     pub fn new(id: impl Into<String>, clock: SharedClock, config: BrokerConfig) -> Self {
         let id = id.into();
         let recorder = FlightRecorder::new(id.clone(), config.telemetry.capacity);
+        let metrics = BrokerMetrics::new();
+        let routes = RouteCache::new(&metrics.registry);
         let broker = Broker {
             inner: Arc::new(Inner {
                 id,
@@ -258,7 +277,8 @@ impl Broker {
                 }),
                 neighbor_cv: Condvar::new(),
                 subs_cv: Condvar::new(),
-                metrics: BrokerMetrics::new(),
+                metrics,
+                routes,
                 recorder,
                 msg_seq: AtomicU64::new(1),
                 supervisors: Mutex::new(Vec::new()),
@@ -386,7 +406,9 @@ impl Broker {
     /// can fully verify authorization tokens (signature, not just
     /// expiry). The tracing engine calls this during registration.
     pub fn register_topic_owner(&self, trace_topic: Uuid, key: RsaPublicKey) {
-        self.inner.state.lock().owner_keys.insert(trace_topic, key);
+        let mut state = self.inner.state.lock();
+        state.owner_keys.insert(trace_topic, key);
+        self.inner.routes.bump();
     }
 
     /// Wraps `endpoint` in a [`LinkSupervisor`] when
@@ -487,11 +509,9 @@ impl Broker {
     /// TDN) and returns its message channel.
     pub fn register_internal(&self, consumer: &str) -> Receiver<Message> {
         let (tx, rx) = unbounded();
-        self.inner
-            .state
-            .lock()
-            .internal
-            .insert(consumer.to_string(), tx);
+        let mut state = self.inner.state.lock();
+        state.internal.insert(consumer.to_string(), tx);
+        self.inner.routes.bump();
         rx
     }
 
@@ -520,6 +540,7 @@ impl Broker {
         let (orphaned, neighbors) = {
             let mut state = self.inner.state.lock();
             let orphaned = state.subs.remove_local(consumer, filter);
+            self.inner.routes.bump();
             let gone = orphaned && !state.subs.all_filters().contains(filter);
             let neighbors: Vec<_> = if gone {
                 state.neighbors.values().cloned().collect()
@@ -543,6 +564,7 @@ impl Broker {
         let (fresh, neighbors) = {
             let mut state = self.inner.state.lock();
             let fresh = state.subs.add_local(consumer, filter.clone(), suppress_advert);
+            self.inner.routes.bump();
             let neighbors: Vec<_> = if fresh {
                 state.neighbors.values().cloned().collect()
             } else {
@@ -565,6 +587,27 @@ impl Broker {
     /// authorization token before publishing.
     pub fn publish_internal(&self, msg: Message) {
         route(&self.inner, msg, Origin::Internal);
+    }
+
+    /// Routes one encoded *data* frame as if it had arrived from the
+    /// attached client `client_id`, synchronously on the caller's
+    /// thread. This is the raw data-plane entry point the client
+    /// worker uses per frame — exposed so benchmarks and allocation
+    /// tests can drive the routing path at saturation without a
+    /// transport in between. The frame may be mutated in place (hop-TTL
+    /// patching), so callers reusing a buffer must re-encode per send.
+    ///
+    /// Control payloads (attach/subscribe/…) are not dispatched here;
+    /// use a [`crate::BrokerClient`] over a real endpoint for those.
+    pub fn ingest_client_frame(&self, client_id: &str, frame: &mut [u8]) {
+        let inner = &self.inner;
+        if try_fast_route(inner, frame, OriginRef::Client(client_id)) {
+            return;
+        }
+        match Message::from_bytes(frame) {
+            Ok(msg) => route(inner, msg, Origin::Client(client_id.to_string())),
+            Err(_) => punish(inner, client_id),
+        }
     }
 
     fn control_message(&self, payload: Payload) -> Message {
@@ -621,6 +664,7 @@ fn token_acceptable(inner: &Inner, msg: &Message, constrained: &ConstrainedTopic
 }
 
 fn route(inner: &Inner, mut msg: Message, origin: Origin) {
+    inner.routes.slowpath.inc();
     // Hop accounting: every neighbour ingress is one broker-to-broker
     // hop. The hop count doubles as a routing TTL closing the
     // forwarding-loop hazard — a message bouncing between brokers is
@@ -719,7 +763,7 @@ fn route(inner: &Inner, mut msg: Message, origin: Origin) {
                 continue;
             }
             if let Some(handle) = state.clients.get(&consumer) {
-                if !handle.terminated {
+                if !handle.terminated.load(Ordering::Acquire) {
                     client_senders.push(Arc::clone(&handle.sender));
                 }
             } else if let Some(tx) = state.internal.get(&consumer) {
@@ -802,13 +846,208 @@ fn route(inner: &Inner, mut msg: Message, origin: Origin) {
     }
 }
 
+/// Where a raw frame entered the broker, by reference — the fast
+/// path's allocation-free analogue of [`Origin`].
+#[derive(Clone, Copy)]
+enum OriginRef<'a> {
+    Client(&'a str),
+    Neighbor(&'a str),
+}
+
+/// The data-plane fast path: routes an encoded frame using the
+/// sharded route cache, without decoding the envelope, re-encoding it,
+/// or taking the broker state lock (except on a cache fill).
+///
+/// Returns `true` when the frame was fully handled (fanned out, or
+/// dropped by the hop TTL) and `false` when it must go through the
+/// full [`route`] path — control traffic, pre-v3 frames, sampled or
+/// tail-sampling-eligible traces, token-bearing trace channels,
+/// topics with in-process consumers, and constraint violations (the
+/// slow path owns rejection accounting and punishment).
+///
+/// Steady-state invariant (enforced by `tests/no_alloc_route.rs`):
+/// a cache hit performs no heap allocation.
+fn try_fast_route(inner: &Inner, frame: &mut [u8], origin: OriginRef<'_>) -> bool {
+    if !inner.config.data_plane_cache {
+        return false;
+    }
+    let t0 = now_ns();
+    let Ok(view) = MessageView::parse(frame) else {
+        // Pre-v3 or malformed: the owned decoder sorts it out.
+        return false;
+    };
+    if is_control_tag(view.payload_tag) {
+        return false;
+    }
+    if inner.config.telemetry.enabled {
+        if let Some(ctx) = &view.trace {
+            // Sampled messages need span recording; old unsampled ones
+            // may qualify for tail sampling. Both are slow-path work.
+            if ctx.sampled
+                || inner.clock.now_ms().saturating_sub(view.timestamp_ms)
+                    >= inner.config.telemetry.slow_threshold_ms
+            {
+                return false;
+            }
+        }
+    }
+    // Hop TTL on neighbour ingress: patch the hop byte in place
+    // instead of re-encoding the envelope. The write is deferred until
+    // every fall-through check has passed, so the slow path never sees
+    // a half-updated frame.
+    let mut hop_patch = None;
+    if let OriginRef::Neighbor(_) = origin {
+        if let Some(ctx) = &view.trace {
+            let hop = ctx.hop_count.saturating_add(1);
+            if hop > inner.config.max_hops {
+                inner.metrics.dropped_ttl.inc();
+                return true;
+            }
+            hop_patch = view.trace_hop_offset().map(|off| (off, hop));
+        }
+    }
+
+    let hash = view.topic.hash64();
+    let entry = match inner.routes.lookup(hash, &view.topic) {
+        Some(entry) => entry,
+        None => {
+            inner.routes.misses.inc();
+            match fill_route_entry(inner, &view.topic, hash) {
+                Some(entry) => entry,
+                None => return false,
+            }
+        }
+    };
+
+    let Some(policy) = &entry.policy else {
+        // Constrained-grammar parse error: slow path rejects.
+        return false;
+    };
+    if entry.has_internal {
+        // In-process consumers need an owned Message.
+        return false;
+    }
+    if policy.requires_token && inner.config.require_tokens {
+        // Token validity/signature checks stay on the slow path.
+        return false;
+    }
+    let forward_allowed = match origin {
+        OriginRef::Client(id) => {
+            if !policy.client_may_publish(id) {
+                // Slow path re-derives the violation, counts the
+                // rejection and punishes the client.
+                return false;
+            }
+            policy.suppress_entity.as_deref() != Some(id)
+        }
+        OriginRef::Neighbor(_) => !policy.suppress_broker,
+    };
+
+    if let Some((off, hop)) = hop_patch {
+        frame[off] = hop;
+    }
+    if let OriginRef::Client(_) = origin {
+        inner.metrics.published.inc();
+        entry.published_family.inc();
+    }
+    for dest in &entry.clients {
+        if let OriginRef::Client(id) = origin {
+            // Don't echo a message back to its publisher.
+            if id == dest.id {
+                continue;
+            }
+        }
+        if dest.terminated.load(Ordering::Acquire) {
+            continue;
+        }
+        if dest.sender.send_frame(frame).is_ok() {
+            inner.metrics.delivered_local.inc();
+            entry.delivered_family.inc();
+        }
+    }
+    if forward_allowed {
+        for dest in &entry.neighbors {
+            if let OriginRef::Neighbor(from) = origin {
+                if from == dest.id {
+                    continue;
+                }
+            }
+            if dest.sender.send_frame(frame).is_ok() {
+                inner.metrics.forwarded.inc();
+            }
+        }
+    }
+    inner.routes.fastpath.inc();
+    inner.routes.latency_ns.record(now_ns().saturating_sub(t0));
+    true
+}
+
+/// Builds and installs a route-cache entry for `topic_view`: snapshots
+/// the matching destinations and the cache version atomically under
+/// the state lock, compiles the topic policy, then inserts outside the
+/// lock. Returns `None` when the topic fails owned validation (the
+/// slow path reports the error).
+fn fill_route_entry(
+    inner: &Inner,
+    topic_view: &TopicView<'_>,
+    hash: u64,
+) -> Option<Arc<RouteEntry>> {
+    let topic = topic_view.to_topic().ok()?;
+    let policy = TopicPolicy::compile(&topic).ok();
+    let family = policy.as_ref().map_or("plain", |p| p.family.as_str());
+    let published_family = inner.metrics.published_for(family);
+    let delivered_family = inner.metrics.delivered_for(family);
+    let (version, clients, neighbors, has_internal) = {
+        let state = inner.state.lock();
+        // Read under the lock so (snapshot, version) are consistent:
+        // every mutation bumps while holding the same lock.
+        let version = inner.routes.current_version();
+        let mut clients = Vec::new();
+        let mut has_internal = false;
+        for consumer in state.subs.local_matches(&topic) {
+            if let Some(handle) = state.clients.get(&consumer) {
+                clients.push(ClientDest {
+                    id: consumer,
+                    sender: Arc::clone(&handle.sender),
+                    terminated: Arc::clone(&handle.terminated),
+                });
+            } else if state.internal.contains_key(&consumer) {
+                has_internal = true;
+            }
+        }
+        let neighbors = state
+            .subs
+            .remote_matches(&topic)
+            .into_iter()
+            .filter_map(|n| {
+                let sender = Arc::clone(state.neighbors.get(&n)?);
+                Some(NeighborDest { id: n, sender })
+            })
+            .collect();
+        (version, clients, neighbors, has_internal)
+    };
+    let entry = Arc::new(RouteEntry {
+        topic,
+        policy,
+        clients,
+        neighbors,
+        has_internal,
+        published_family,
+        delivered_family,
+    });
+    inner.routes.insert(hash, version, Arc::clone(&entry));
+    Some(entry)
+}
+
 /// Records a bogus attempt; terminates the client at the limit (§5.2).
 fn punish(inner: &Inner, client_id: &str) {
     let mut state = inner.state.lock();
     if let Some(handle) = state.clients.get_mut(client_id) {
         handle.bogus += 1;
-        if handle.bogus >= inner.config.bogus_attempt_limit && !handle.terminated {
-            handle.terminated = true;
+        if handle.bogus >= inner.config.bogus_attempt_limit
+            && !handle.terminated.load(Ordering::Acquire)
+        {
+            handle.terminated.store(true, Ordering::Release);
             inner.metrics.terminated_clients.inc();
             let sender = Arc::clone(&handle.sender);
             drop(state);
@@ -826,24 +1065,21 @@ fn punish(inner: &Inner, client_id: &str) {
             let mut state = inner.state.lock();
             state.clients.remove(client_id);
             state.subs.remove_consumer(client_id);
+            inner.routes.bump();
         }
     }
-}
-
-fn is_terminated(inner: &Inner, client_id: &str) -> bool {
-    let state = inner.state.lock();
-    !state.clients.contains_key(client_id)
 }
 
 fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
     let inner = &inner;
     // Handshake: first frame must be Attach.
-    let client_id = loop {
+    let (client_id, terminated) = loop {
         let Ok(frame) = endpoint.recv() else { return };
         match Message::from_bytes(&frame) {
             Ok(msg) => {
                 if let Payload::Attach { client_id } = &msg.payload {
                     let id = client_id.clone();
+                    let flag = Arc::new(AtomicBool::new(false));
                     {
                         let mut state = inner.state.lock();
                         state.clients.insert(
@@ -851,9 +1087,10 @@ fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
                             ClientHandle {
                                 sender: endpoint.sender(),
                                 bogus: 0,
-                                terminated: false,
+                                terminated: Arc::clone(&flag),
                             },
                         );
+                        inner.routes.bump();
                     }
                     let ack = Message::new(
                         0,
@@ -864,7 +1101,7 @@ fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
                     )
                     .correlated(msg.id);
                     let _ = endpoint.send(&ack.to_bytes());
-                    break id;
+                    break (id, flag);
                 }
                 // Ignore anything before Attach.
             }
@@ -873,15 +1110,22 @@ fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
     };
 
     loop {
-        let Ok(frame) = endpoint.recv() else {
+        let Ok(mut frame) = endpoint.recv() else {
             // Link dropped: clean up.
             let mut state = inner.state.lock();
             state.clients.remove(&client_id);
             state.subs.remove_consumer(&client_id);
+            inner.routes.bump();
             return;
         };
-        if is_terminated(inner, &client_id) {
+        // Lock-free termination check: punish() flips the shared flag.
+        if terminated.load(Ordering::Acquire) {
             return;
+        }
+        // Steady-state data frames short-circuit here without an
+        // envelope decode.
+        if try_fast_route(inner, &mut frame, OriginRef::Client(&client_id)) {
+            continue;
         }
         let msg = match Message::from_bytes(&frame) {
             Ok(m) => m,
@@ -897,6 +1141,7 @@ fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
             Payload::Unsubscribe { filter } => {
                 let mut state = inner.state.lock();
                 state.subs.remove_local(&client_id, filter);
+                inner.routes.bump();
                 drop(state);
                 let ack = Message::new(
                     0,
@@ -1019,11 +1264,11 @@ fn neighbor_worker(inner: Arc<Inner>, endpoint: Endpoint) {
                 if let Ok(msg) = Message::from_bytes(&frame) {
                     if let Payload::NeighborHello { broker_id } = &msg.payload {
                         let id = broker_id.clone();
-                        inner
-                            .state
-                            .lock()
-                            .neighbors
-                            .insert(id.clone(), endpoint.sender());
+                        {
+                            let mut state = inner.state.lock();
+                            state.neighbors.insert(id.clone(), endpoint.sender());
+                            inner.routes.bump();
+                        }
                         inner.neighbor_cv.notify_all();
                         break id;
                     }
@@ -1043,14 +1288,20 @@ fn neighbor_worker(inner: Arc<Inner>, endpoint: Endpoint) {
     }
 
     loop {
-        let Ok(frame) = endpoint.recv() else {
+        let Ok(mut frame) = endpoint.recv() else {
             let mut state = inner.state.lock();
             state.neighbors.remove(&peer_id);
             state.subs.remove_neighbor(&peer_id);
+            inner.routes.bump();
             drop(state);
             inner.neighbor_cv.notify_all();
             return;
         };
+        // Data frames forwarded by the peer short-circuit here (with
+        // the in-place hop-TTL patch); control frames fall through.
+        if try_fast_route(inner, &mut frame, OriginRef::Neighbor(&peer_id)) {
+            continue;
+        }
         let Ok(msg) = Message::from_bytes(&frame) else {
             continue;
         };
@@ -1096,6 +1347,7 @@ fn handle_neighbor_message(inner: &Arc<Inner>, peer_id: &str, msg: Message) {
                     let mut state = inner.state.lock();
                     let fresh = !state.subs.all_filters().contains(filter);
                     state.subs.add_remote(peer_id, filter.clone());
+                    inner.routes.bump();
                     let others: Vec<_> = if fresh {
                         state
                             .neighbors
@@ -1120,6 +1372,7 @@ fn handle_neighbor_message(inner: &Arc<Inner>, peer_id: &str, msg: Message) {
                 let (gone, others) = {
                     let mut state = inner.state.lock();
                     state.subs.remove_remote(peer_id, filter);
+                    inner.routes.bump();
                     let gone = !state.subs.all_filters().contains(filter);
                     let others: Vec<_> = if gone {
                         state

@@ -3,6 +3,12 @@
 use crate::histogram::HistogramSummary;
 
 /// The captured value of one metric.
+///
+/// The histogram variant is much larger than the scalar ones
+/// (65 log₂ buckets), but snapshots are cold-path value types built
+/// once per capture — indirection would cost more in ergonomics than
+/// the padding costs in memory.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotValue {
     /// A counter's cumulative value.

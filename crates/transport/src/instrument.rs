@@ -26,6 +26,10 @@ transport_counter!(SIM_FRAMES_DUPLICATED, "transport.sim.frames.duplicated");
 transport_counter!(FRAME_OVERSIZED, "transport.frame.oversized");
 transport_counter!(SIM_FAULT_REJECTED, "transport.sim.fault.rejected");
 transport_counter!(SIM_FAULT_FLAKY_DROPPED, "transport.sim.fault.flaky_dropped");
+transport_counter!(BATCH_WRITES, "transport.batch.writes");
+transport_counter!(BATCH_FRAMES, "transport.batch.frames");
+transport_counter!(BATCH_COALESCED, "transport.batch.coalesced");
+transport_counter!(SIM_FRAMES_DIRECT, "transport.sim.frames.direct");
 transport_counter!(LINK_RECONNECTS, "transport.link.reconnects");
 transport_counter!(LINK_FRAMES_BUFFERED, "transport.link.frames.buffered");
 transport_counter!(LINK_FRAMES_REPLAYED, "transport.link.frames.replayed");

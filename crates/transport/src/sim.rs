@@ -364,6 +364,20 @@ impl FrameSender for SimSender {
             // A flaky link eats the frame silently, like wire loss.
             return Ok(());
         }
+        // Instant, lossless, exact links (the benchmark/test loopback
+        // shape) skip the scheduler entirely: no RNG draws, no heap
+        // insert, no condvar signal — straight into the destination
+        // channel, preserving FIFO per direction.
+        if self.cfg.latency.is_zero()
+            && self.cfg.jitter.is_zero()
+            && self.cfg.loss_rate == 0.0
+            && self.cfg.duplicate_rate == 0.0
+        {
+            crate::instrument::SIM_FRAMES_DIRECT.inc();
+            // Receiver may be gone; same as a scheduler-side discard.
+            let _ = self.dest.send(frame.to_vec());
+            return Ok(());
+        }
         let (dropped, duplicated, jitter1, jitter2) = {
             let mut rng = self.shared.rng.lock();
             let dropped = self.cfg.loss_rate > 0.0 && rng.random::<f64>() < self.cfg.loss_rate;
@@ -425,6 +439,26 @@ mod tests {
             let frame = b.recv_timeout(Duration::from_secs(1)).unwrap();
             assert_eq!(frame, i.to_be_bytes());
         }
+    }
+
+    #[test]
+    fn instant_links_take_the_direct_path() {
+        let before = crate::instrument::SIM_FRAMES_DIRECT.get();
+        let net = SimNetwork::new(21);
+        let (a, b) = net.symmetric_link(LinkConfig::instant());
+        for _ in 0..10 {
+            a.send(b"fast").unwrap();
+        }
+        for _ in 0..10 {
+            assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"fast");
+        }
+        assert!(crate::instrument::SIM_FRAMES_DIRECT.get() >= before + 10);
+        // A latencied link must still go through the scheduler.
+        let during = crate::instrument::SIM_FRAMES_DIRECT.get();
+        let (c, d) = net.symmetric_link(LinkConfig::default());
+        c.send(b"slow").unwrap();
+        assert_eq!(d.recv_timeout(Duration::from_secs(1)).unwrap(), b"slow");
+        assert_eq!(crate::instrument::SIM_FRAMES_DIRECT.get(), during);
     }
 
     #[test]

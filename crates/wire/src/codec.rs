@@ -117,6 +117,25 @@ impl Writer {
         }
     }
 
+    /// Reserves four bytes for a big-endian `u32` to be patched in
+    /// later with [`Writer::patch_u32`], returning the reservation
+    /// offset. Used for length prefixes whose value is only known
+    /// after the prefixed content has been written.
+    pub fn reserve_u32(&mut self) -> usize {
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0u8; 4]);
+        at
+    }
+
+    /// Overwrites a four-byte reservation made by
+    /// [`Writer::reserve_u32`] with a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if `at` does not address four already-written bytes.
+    pub fn patch_u32(&mut self, at: usize, v: u32) {
+        self.buf[at..at + 4].copy_from_slice(&v.to_be_bytes());
+    }
+
     /// Current encoded length.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -217,17 +236,35 @@ impl<'a> Reader<'a> {
 
     /// Reads a varint-length-prefixed byte slice.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>> {
+        Ok(self.get_bytes_ref()?.to_vec())
+    }
+
+    /// Reads a varint-length-prefixed byte slice without copying: the
+    /// returned slice borrows from the underlying buffer. This is the
+    /// allocation-free primitive the zero-copy [`crate::view`] parsers
+    /// are built on.
+    pub fn get_bytes_ref(&mut self) -> Result<&'a [u8]> {
         let len = self.get_varint()? as usize;
         if len > MAX_CHUNK_LEN {
             return Err(WireError::LengthOverflow("bytes"));
         }
-        Ok(self.take(len, "bytes body")?.to_vec())
+        self.take(len, "bytes body")
+    }
+
+    /// Reads a varint-length-prefixed UTF-8 string without copying.
+    pub fn get_str_ref(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.get_bytes_ref()?).map_err(|_| WireError::BadUtf8("string"))
+    }
+
+    /// Reads exactly `n` raw bytes as a borrowed slice (no length
+    /// prefix, no copy). `what` labels truncation errors.
+    pub fn get_exact(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        self.take(n, what)
     }
 
     /// Reads a varint-length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<String> {
-        let bytes = self.get_bytes()?;
-        String::from_utf8(bytes).map_err(|_| WireError::BadUtf8("string"))
+        Ok(self.get_str_ref()?.to_string())
     }
 
     /// Reads a 16-byte UUID.

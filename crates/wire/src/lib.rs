@@ -24,6 +24,7 @@ pub mod payload;
 pub mod token;
 pub mod topic;
 pub mod trace;
+pub mod view;
 
 pub use constrained::{AllowedActions, ConstrainedTopic, Constrainer, Distribution, EventType};
 pub use error::WireError;
@@ -32,6 +33,7 @@ pub use payload::Payload;
 pub use token::{AuthorizationToken, Rights};
 pub use topic::Topic;
 pub use trace::{EntityState, LoadInformation, NetworkMetrics, TraceEvent, TraceKind};
+pub use view::{topic_hash, MessageView, TopicView};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, WireError>;

@@ -13,6 +13,14 @@
 //! with tags they do not recognize, so the envelope can grow without
 //! another version bump; version-1 encodings (no section block at all)
 //! still decode.
+//!
+//! Wire version 3 length-prefixes the payload with a big-endian `u32`
+//! so that a router can skip straight over the body to the
+//! authentication and section trailers without decoding it. That is
+//! what makes the zero-copy [`crate::view::MessageView`] possible:
+//! the broker data plane parses only the routing-relevant fields of a
+//! frame and forwards the original bytes untouched. Versions 1 and 2
+//! still decode.
 
 use crate::codec::{Decode, Encode, Reader, Writer};
 use crate::error::WireError;
@@ -28,7 +36,7 @@ use nb_crypto::sha256::Sha256;
 use nb_telemetry::TraceContext;
 
 /// Codec version byte leading every encoded message.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 /// Oldest version this decoder still accepts (version-1 frames carry
 /// no trailing-section block).
@@ -168,22 +176,53 @@ impl Message {
     pub fn to_v1_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_u8(MIN_WIRE_VERSION);
-        self.encode_body(&mut w);
+        self.encode_legacy_body(&mut w);
+        w.into_bytes()
+    }
+
+    /// Encodes in the legacy version-2 layout (trailing sections, but
+    /// no payload length prefix). Kept for wire-compatibility tests
+    /// and for talking to pre-v3 peers.
+    pub fn to_v2_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(2);
+        self.encode_legacy_body(&mut w);
+        self.encode_sections(&mut w);
         w.into_bytes()
     }
 
     /// Encodes every field after the version byte except the
-    /// trailing-section block (shared between v1 and v2 layouts).
-    fn encode_body(&self, w: &mut Writer) {
+    /// trailing-section block, in the v1/v2 layout (payload not
+    /// length-prefixed).
+    fn encode_legacy_body(&self, w: &mut Writer) {
         w.put_u64(self.id);
         w.put_u64(self.correlation_id);
         self.topic.encode(w);
         w.put_str(&self.sender);
         w.put_u64(self.timestamp_ms);
         self.payload.encode(w);
+        self.encode_auth(w);
+    }
+
+    /// Encodes the optional authentication trailer (signature, token,
+    /// MAC) — identical across all wire versions.
+    fn encode_auth(&self, w: &mut Writer) {
         w.put_option(&self.signature, |w, s| w.put_bytes(s));
         w.put_option(&self.token, |w, t| t.encode(w));
         w.put_option(&self.mac, |w, m| w.put_bytes(m));
+    }
+
+    /// Encodes the trailing-section block (v2+): count, then
+    /// `(tag, length-prefixed body)` pairs.
+    fn encode_sections(&self, w: &mut Writer) {
+        match &self.trace {
+            Some(ctx) => {
+                w.put_varint(1);
+                w.put_u8(SECTION_TRACE);
+                w.put_bytes(&encode_trace_section(ctx));
+            }
+            None => w.put_varint(0),
+        }
     }
 }
 
@@ -218,17 +257,19 @@ fn decode_trace_section(body: &[u8]) -> Result<TraceContext> {
 impl Encode for Message {
     fn encode(&self, w: &mut Writer) {
         w.put_u8(WIRE_VERSION);
-        self.encode_body(w);
-        // Trailing sections: count, then (tag, length-prefixed body)
-        // pairs. Unknown tags are skipped on decode.
-        match &self.trace {
-            Some(ctx) => {
-                w.put_varint(1);
-                w.put_u8(SECTION_TRACE);
-                w.put_bytes(&encode_trace_section(ctx));
-            }
-            None => w.put_varint(0),
-        }
+        w.put_u64(self.id);
+        w.put_u64(self.correlation_id);
+        self.topic.encode(w);
+        w.put_str(&self.sender);
+        w.put_u64(self.timestamp_ms);
+        // v3: the payload is u32-length-prefixed so zero-copy parsers
+        // can hop over it to the authentication/section trailers.
+        let mark = w.reserve_u32();
+        self.payload.encode(w);
+        let payload_len = w.len() - mark - 4;
+        w.patch_u32(mark, payload_len as u32);
+        self.encode_auth(w);
+        self.encode_sections(w);
     }
 }
 
@@ -238,13 +279,31 @@ impl Decode for Message {
         if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(WireError::BadVersion(version));
         }
+        let id = r.get_u64()?;
+        let correlation_id = r.get_u64()?;
+        let topic = Topic::decode(r)?;
+        let sender = r.get_str()?;
+        let timestamp_ms = r.get_u64()?;
+        let payload = if version >= 3 {
+            let len = r.get_u32()? as usize;
+            if len > crate::codec::MAX_CHUNK_LEN {
+                return Err(WireError::LengthOverflow("payload"));
+            }
+            let body = r.get_exact(len, "payload body")?;
+            let mut pr = Reader::new(body);
+            let payload = Payload::decode(&mut pr)?;
+            pr.expect_end("payload")?;
+            payload
+        } else {
+            Payload::decode(r)?
+        };
         let mut msg = Message {
-            id: r.get_u64()?,
-            correlation_id: r.get_u64()?,
-            topic: Topic::decode(r)?,
-            sender: r.get_str()?,
-            timestamp_ms: r.get_u64()?,
-            payload: Payload::decode(r)?,
+            id,
+            correlation_id,
+            topic,
+            sender,
+            timestamp_ms,
+            payload,
             signature: r.get_option(|r| r.get_bytes())?,
             token: r.get_option(AuthorizationToken::decode)?,
             mac: r.get_option(|r| r.get_bytes())?,
@@ -254,9 +313,9 @@ impl Decode for Message {
             let sections = r.get_varint()?;
             for _ in 0..sections {
                 let tag = r.get_u8()?;
-                let body = r.get_bytes()?;
+                let body = r.get_bytes_ref()?;
                 if tag == SECTION_TRACE && msg.trace.is_none() {
-                    msg.trace = Some(decode_trace_section(&body)?);
+                    msg.trace = Some(decode_trace_section(body)?);
                 }
                 // Any other tag: an extension from a newer peer — skip.
             }

@@ -489,6 +489,17 @@ pub enum Payload {
     },
 }
 
+/// Whether a payload tag byte denotes broker control traffic
+/// (connection management and subscription state) rather than
+/// routable data. The broker's zero-copy fast path checks the tag
+/// straight off the wire — see [`crate::view::MessageView`] — and
+/// sends control frames through the full decode + dispatch path.
+pub fn is_control_tag(tag: u8) -> bool {
+    // Attach/Subscribe/Unsubscribe/Ack/Nack and the NeighborHello/
+    // NeighborSubscribe/NeighborUnsubscribe inter-broker handshakes.
+    matches!(tag, 1..=5 | 70..=72)
+}
+
 impl Encode for Payload {
     fn encode(&self, w: &mut Writer) {
         match self {

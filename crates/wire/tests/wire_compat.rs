@@ -1,7 +1,9 @@
-//! Wire-compatibility regression tests for the version-2 envelope:
-//! the trailing-section block must round-trip trace contexts, tolerate
-//! unknown sections from newer peers, and keep decoding version-1
-//! frames byte-for-byte as the seed encoder produced them.
+//! Wire-compatibility regression tests for the version-3 envelope:
+//! the u32 payload length prefix must agree with the encoded payload,
+//! the trailing-section block must round-trip trace contexts and
+//! tolerate unknown sections from newer peers, and version-1/-2
+//! frames must keep decoding byte-for-byte as older encoders
+//! produced them.
 
 use nb_telemetry::TraceContext;
 use nb_wire::codec::{Decode, Encode, Reader, Writer};
@@ -65,15 +67,75 @@ fn v1_encoding_still_decodes() {
 }
 
 #[test]
+fn v2_encoding_still_decodes() {
+    // A pre-v3 peer's frame (trailing sections but no payload length
+    // prefix) must decode identically, trace included.
+    let m = sample().with_trace(ctx());
+    let legacy = m.to_v2_bytes();
+    assert_eq!(legacy[0], 2, "legacy encoder must stamp version 2");
+    assert_eq!(Message::from_bytes(&legacy).unwrap(), m);
+}
+
+#[test]
 fn v1_and_v2_differ_only_in_version_and_sections() {
     // The v2 layout of a traceless message is the v1 layout plus a
     // zero section count — structural proof of backward compatibility.
     let m = sample();
     let v1 = m.to_v1_bytes();
-    let v2 = m.to_bytes();
+    let v2 = m.to_v2_bytes();
     assert_eq!(v2[0], 2);
     assert_eq!(&v2[1..v2.len() - 1], &v1[1..]);
     assert_eq!(*v2.last().unwrap(), 0, "empty section block is one 0 byte");
+}
+
+#[test]
+fn v3_is_v2_plus_payload_length_prefix() {
+    // The v3 layout is the v2 layout with a big-endian u32 payload
+    // length spliced in front of the payload — nothing else moves.
+    let m = sample().with_trace(ctx());
+    let v2 = m.to_v2_bytes();
+    let v3 = m.to_bytes();
+    assert_eq!(v3[0], 3);
+    assert_eq!(v3.len(), v2.len() + 4);
+
+    // Fixed-width prefix of the body: id + correlation id.
+    let mut r = Reader::new(&v2[1..]);
+    r.get_u64().unwrap();
+    r.get_u64().unwrap();
+    Topic::decode(&mut r).unwrap();
+    r.get_str().unwrap();
+    r.get_u64().unwrap();
+    let payload_at = 1 + (v2.len() - 1 - r.remaining());
+    Payload::decode(&mut r).unwrap();
+    let payload_len = v2.len() - r.remaining() - payload_at;
+
+    assert_eq!(&v3[1..payload_at], &v2[1..payload_at]);
+    let declared = u32::from_be_bytes(v3[payload_at..payload_at + 4].try_into().unwrap());
+    assert_eq!(declared as usize, payload_len);
+    assert_eq!(&v3[payload_at + 4..], &v2[payload_at..]);
+}
+
+#[test]
+fn corrupt_payload_length_is_rejected() {
+    let m = sample();
+    let v3 = m.to_bytes();
+    // Find the length prefix the same way the decoder does.
+    let mut r = Reader::new(&v3[1..]);
+    r.get_u64().unwrap();
+    r.get_u64().unwrap();
+    Topic::decode(&mut r).unwrap();
+    r.get_str().unwrap();
+    r.get_u64().unwrap();
+    let at = 1 + (v3.len() - 1 - r.remaining());
+    let declared = u32::from_be_bytes(v3[at..at + 4].try_into().unwrap());
+
+    let mut longer = v3.clone();
+    longer[at..at + 4].copy_from_slice(&(declared + 1).to_be_bytes());
+    assert!(Message::from_bytes(&longer).is_err());
+
+    let mut shorter = v3.clone();
+    shorter[at..at + 4].copy_from_slice(&(declared - 1).to_be_bytes());
+    assert!(Message::from_bytes(&shorter).is_err());
 }
 
 #[test]
@@ -109,10 +171,10 @@ fn unknown_trailing_sections_are_skipped() {
 #[test]
 fn future_versions_are_rejected() {
     let mut bytes = sample().to_bytes();
-    bytes[0] = 3;
+    bytes[0] = 4;
     match Message::from_bytes(&bytes) {
-        Err(WireError::BadVersion(3)) => {}
-        other => panic!("expected BadVersion(3), got {other:?}"),
+        Err(WireError::BadVersion(4)) => {}
+        other => panic!("expected BadVersion(4), got {other:?}"),
     }
 }
 

@@ -1,0 +1,142 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros so the workspace's
+//! benches compile and run without crates.io access. Timing is a
+//! simple calibrated loop (no statistics, no plots): each benchmark
+//! prints its mean per-iteration wall time.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean iteration
+    /// time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!("{name:<40} {mean_ns:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Opens a named benchmark group. The stub ignores group-level
+    /// tuning (sample sizes, measurement time) and prefixes member
+    /// names with the group name.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Named group of benchmarks, mirroring criterion's builder. Tuning
+/// methods are accepted and ignored; members run like
+/// [`Criterion::bench_function`] with a `group/member` name.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's calibration ignores
+    /// it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's calibration ignores
+    /// it.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a named member of this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`. Calibrates the iteration count to
+    /// roughly 100 ms of wall time, capped to keep cold benches fast.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration.
+        let t0 = Instant::now();
+        std_black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(20));
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.total = t0.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so this crate
+//! reimplements the strategy combinators and macros the workspace's
+//! property tests actually use: `any`, `Just`, ranges and tuples as
+//! strategies, `prop_map`/`prop_filter`, `prop_oneof!` (weighted and
+//! unweighted), `collection::vec`, `option::of`, `array::uniform16`,
+//! simple `"[class]{m,n}"` string patterns, and the `proptest!` /
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic SplitMix64 stream — no shrinking, no persistence —
+//! which keeps failures reproducible run to run.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `range`.
+    pub fn vec<S: Strategy>(element: S, range: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, range }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        range: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.range_usize(self.range.start, self.range.end);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+/// Array strategies (`proptest::array::uniform16`).
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! uniform_n {
+        ($name:ident, $n:expr) => {
+            /// Strategy for a fixed-size array of independent draws.
+            pub fn $name<S: Strategy>(element: S) -> impl Strategy<Value = [S::Value; $n]> {
+                UniformArray::<S, $n> { element }
+            }
+        };
+    }
+
+    uniform_n!(uniform4, 4);
+    uniform_n!(uniform8, 8);
+    uniform_n!(uniform16, 16);
+    uniform_n!(uniform32, 32);
+
+    struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn gen_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.gen_value(rng))
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>` (`None` with probability 1/4,
+    /// proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+/// The glob import property tests start from.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,455 @@
+//! Strategies: composable random-value generators.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A generator of random values, composable via
+/// [`Strategy::prop_map`] and [`Strategy::prop_filter`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value. (Named `gen_value` rather than proptest's
+    /// tree-based `new_tree`; this stand-in does not shrink.)
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `f`, retrying (bounded) until one
+    /// passes. `_whence` labels the filter for diagnostics.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence: _whence,
+        }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.gen_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`: uniform over the whole domain,
+/// with a bias toward boundary values for integers.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 boundary bias: edges find more bugs.
+                match rng.next_u64() % 8 {
+                    0 => match rng.next_u64() % 3 {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        _ => 1 as $t,
+                    },
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Raw bit patterns: exercises NaN, infinities, subnormals.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0/0)
+    (S0/0, S1/1)
+    (S0/0, S1/1, S2/2)
+    (S0/0, S1/1, S2/2, S3/3)
+    (S0/0, S1/1, S2/2, S3/3, S4/4)
+    (S0/0, S1/1, S2/2, S3/3, S4/4, S5/5)
+}
+
+/// Weighted choice between type-erased strategies; built by
+/// [`crate::prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = (rng.next_u64() % u64::from(self.total)) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.gen_value(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// String pattern strategies: `"literal[class]{m,n}"`. Supports the
+/// tiny regex subset property tests actually write — literal chars,
+/// one-level `[...]` classes with ranges, and `{n}` / `{m,n}` counts.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let (lo, hi) = atom.count;
+            let n = lo + (rng.next_u64() % u64::from(hi - lo + 1)) as u32;
+            for _ in 0..n {
+                let i = (rng.next_u64() % atom.chars.len() as u64) as usize;
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    count: (u32, u32),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alphabet = if c == '[' {
+            let mut raw = Vec::new();
+            for m in chars.by_ref() {
+                if m == ']' {
+                    break;
+                }
+                raw.push(m);
+            }
+            // Expand `a-z` ranges; a leading or trailing `-` is a
+            // literal, as in real character classes.
+            let mut set = Vec::new();
+            let mut i = 0;
+            while i < raw.len() {
+                if i + 2 < raw.len() && raw[i + 1] == '-' {
+                    for r in (raw[i] as u32)..=(raw[i + 2] as u32) {
+                        if let Some(rc) = char::from_u32(r) {
+                            set.push(rc);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    set.push(raw[i]);
+                    i += 1;
+                }
+            }
+            set
+        } else {
+            vec![c]
+        };
+        let count = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for m in chars.by_ref() {
+                if m == '}' {
+                    break;
+                }
+                spec.push(m);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("pattern count"),
+                    hi.trim().parse().expect("pattern count"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("pattern count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom {
+            chars: alphabet,
+            count,
+        });
+    }
+    atoms
+}
+
+/// Boxes a strategy (helper the [`crate::prop_oneof!`] macro calls).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Weighted choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) {...}`
+/// becomes a `#[test]` that generates `cases` inputs and runs the
+/// body on each.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_property(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, &mut rng);)+
+                    // prop_assume! skips a case by returning from this
+                    // closure; prop_assert! panics (no shrinking).
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_property("strategy-unit-tests")
+    }
+
+    #[test]
+    fn pattern_strategy_respects_class_and_count() {
+        let strat = "[A-Za-z0-9_-]{1,12}";
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = Strategy::gen_value(&strat, &mut r);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn union_honors_weights_roughly() {
+        let u = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let mut r = rng();
+        let hits = (0..1_000)
+            .filter(|_| Strategy::gen_value(&u, &mut r))
+            .count();
+        assert!(hits > 800, "expected ~900 true draws, got {hits}");
+    }
+
+    #[test]
+    fn vec_and_tuple_and_range_compose() {
+        let strat = crate::collection::vec((0u8..4, 1u64..100), 2..5);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = Strategy::gen_value(&strat, &mut r);
+            assert!((2..5).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 4);
+                assert!((1..100).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let strat = (0u64..100).prop_filter("even", |v| v % 2 == 0);
+        let mut r = rng();
+        for _ in 0..200 {
+            assert_eq!(Strategy::gen_value(&strat, &mut r) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic case generation for the [`crate::proptest!`] macro.
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 generator driving strategy sampling. Deterministic per
+/// property (seeded from the property name) so failures reproduce.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator deterministically from a property name.
+    pub fn for_property(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi)`; returns `lo` when empty.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as usize
+    }
+}

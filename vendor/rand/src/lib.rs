@@ -1,0 +1,212 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace
+//! vendors the *exact* RNG surface it consumes: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] /
+//! [`RngExt`] methods `fill_bytes`, `next_u32`, `next_u64`,
+//! `random::<f64>()` and `random_range`. The generator is
+//! SplitMix64 — statistically solid for simulation and Miller–Rabin
+//! witness selection, deterministic for a given seed, and emphatically
+//! **not** a CSPRNG (neither was the seeded `StdRng` usage it
+//! replaces; every call site seeds deterministically for
+//! reproducibility).
+
+/// Core random-number generation: one raw 64-bit output word. All the
+/// user-facing methods live on [`Rng`] so that the single common
+/// import (`use rand::Rng`) suffices at every call site.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn raw_u64(&mut self) -> u64;
+}
+
+/// Sampling conveniences layered over [`RngCore`].
+///
+/// Re-declares the [`RngCore`] methods as provided methods so call
+/// sites that import only `rand::Rng` (the common idiom) can reach
+/// `fill_bytes`/`next_u64` without also importing the supertrait.
+pub trait Rng: RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64 {
+        self.raw_u64()
+    }
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.raw_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.raw_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.raw_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64`: uniform in `[0, 1)`; integers: uniform over the type).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn random_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Extension alias kept for call sites that import `rand::RngExt`.
+pub use Rng as RngExt;
+
+/// Types samplable from their standard distribution.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.raw_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> u64 {
+        rng.raw_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> u32 {
+        (rng.raw_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> bool {
+        rng.raw_u64() & 1 == 1
+    }
+}
+
+/// Integer types uniformly samplable over a half-open range.
+pub trait UniformRange: Sized {
+    /// Draws uniformly from `range` (panics if empty, like rand).
+    fn sample_range<R: RngCore>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as u64).wrapping_sub(range.start as u64);
+                // Rejection sampling kills modulo bias.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.raw_u64();
+                    if v < zone {
+                        return range.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_range!(u8, u16, u32, u64, usize);
+
+/// RNGs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn raw_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood): full-period, passes
+            // BigCrush when used as a stream.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; n];
+            rng.fill_bytes(&mut buf);
+            if n >= 8 {
+                assert!(buf.iter().any(|&b| b != 0));
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_sampling_in_bounds_and_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0usize..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
