@@ -258,6 +258,34 @@ impl BrokerNetwork {
             .count()
     }
 
+    /// Installs a frame-rewriting adversary on inter-broker link `idx`
+    /// (simulated media only): every frame crossing the link, in both
+    /// directions, passes through `f` before delivery. Returns whether
+    /// the link was scriptable. See [`SimNetwork::tamper`].
+    pub fn tamper_link<F>(&self, idx: usize, f: F) -> bool
+    where
+        F: Fn(Vec<u8>) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.link_id(idx).map(|id| self.net.tamper(id, f)).is_some()
+    }
+
+    /// Installs a replay adversary on inter-broker link `idx`: every
+    /// frame is delivered `1 + copies` times. Returns whether the link
+    /// was scriptable. See [`SimNetwork::replay`].
+    pub fn replay_link(&self, idx: usize, copies: u32) -> bool {
+        self.link_id(idx)
+            .map(|id| self.net.replay(id, copies))
+            .is_some()
+    }
+
+    /// Stands down any adversary on inter-broker link `idx`. Returns
+    /// whether the link was scriptable.
+    pub fn clear_link_adversary(&self, idx: usize) -> bool {
+        self.link_id(idx)
+            .map(|id| self.net.clear_adversary(id))
+            .is_some()
+    }
+
     /// The underlying simulated network (fault scripting against
     /// client links created with
     /// [`BrokerNetwork::attach_client_with`]).

@@ -18,8 +18,9 @@ use nb_wire::constrained::{Action, Actor, AllowedActions, ConstrainedTopic, Even
 use nb_wire::token::Rights;
 use nb_wire::payload::is_control_tag;
 use nb_wire::view::TopicView;
+use nb_monitor::{DeliveryEvent, MonitorSet, TokenSource, TopicRef};
 use nb_wire::{Message, MessageView, Payload, Topic};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -239,6 +240,15 @@ struct Inner {
     /// Live supervisors for every wrapped link (kept so the repair
     /// threads stay alive and their stats stay inspectable).
     supervisors: Mutex<Vec<LinkSupervisor>>,
+    /// Notified on every supervised-link state transition (see
+    /// [`Broker::wait_for_link_stats`]).
+    link_cv: Condvar,
+    /// Fast gate for the monitor tap: one relaxed load on the data
+    /// plane when no monitor is attached.
+    monitor_on: AtomicBool,
+    /// The attached runtime-verification monitor, if any (see
+    /// [`Broker::attach_monitor`]).
+    monitor: RwLock<Option<MonitorSet>>,
 }
 
 /// Where a message entered this broker.
@@ -282,6 +292,9 @@ impl Broker {
                 recorder,
                 msg_seq: AtomicU64::new(1),
                 supervisors: Mutex::new(Vec::new()),
+                link_cv: Condvar::new(),
+                monitor_on: AtomicBool::new(false),
+                monitor: RwLock::new(None),
             }),
         };
         if let Some(interval) = broker.inner.config.advert_refresh {
@@ -406,9 +419,70 @@ impl Broker {
     /// can fully verify authorization tokens (signature, not just
     /// expiry). The tracing engine calls this during registration.
     pub fn register_topic_owner(&self, trace_topic: Uuid, key: RsaPublicKey) {
-        let mut state = self.inner.state.lock();
-        state.owner_keys.insert(trace_topic, key);
+        {
+            let mut state = self.inner.state.lock();
+            state.owner_keys.insert(trace_topic, key.clone());
+            self.inner.routes.bump();
+        }
+        // Keep an attached monitor's owner-key registry in sync so it
+        // can fully verify tokens for this topic too.
+        if self.inner.monitor_on.load(Ordering::Acquire) {
+            if let Some(monitor) = self.inner.monitor.read().as_ref() {
+                monitor.register_owner(trace_topic, key);
+            }
+        }
+    }
+
+    /// Attaches an online runtime-verification monitor: every delivery
+    /// decision this broker makes on a topic one of the monitor's
+    /// properties governs (slow path, or cached fast path via the
+    /// route entry's `monitored` flag) is reported to `monitor` as a
+    /// [`DeliveryEvent`]. The monitor
+    /// inherits the broker's current trace-topic owner keys and stays
+    /// in sync with future [`Broker::register_topic_owner`] calls.
+    pub fn attach_monitor(&self, monitor: MonitorSet) {
+        {
+            let state = self.inner.state.lock();
+            for (topic, key) in &state.owner_keys {
+                monitor.register_owner(*topic, key.clone());
+            }
+        }
+        *self.inner.monitor.write() = Some(monitor);
+        self.inner.monitor_on.store(true, Ordering::Release);
+        // Cached route entries predate the monitor and carry
+        // `monitored: false`; invalidate them so every topic
+        // re-resolves against the new property set.
+        let _state = self.inner.state.lock();
         self.inner.routes.bump();
+    }
+
+    /// Blocks until `pred` holds over [`Broker::link_stats`] or the
+    /// timeout elapses; returns whether the predicate was satisfied.
+    ///
+    /// Event-driven: woken by supervised-link state transitions (the
+    /// same observer that feeds `broker.link.*` metrics), with a
+    /// bounded re-check interval as a safety net for stat changes that
+    /// don't transition the link state — so callers get condvar
+    /// latency without sleep-polling.
+    pub fn wait_for_link_stats(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&[LinkStats]) -> bool,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut supervisors = self.inner.supervisors.lock();
+        loop {
+            let stats: Vec<LinkStats> = supervisors.iter().map(LinkSupervisor::stats).collect();
+            if pred(&stats) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let slice = (deadline - now).min(Duration::from_millis(50));
+            self.inner.link_cv.wait_for(&mut supervisors, slice);
+        }
     }
 
     /// Wraps `endpoint` in a [`LinkSupervisor`] when
@@ -428,6 +502,8 @@ impl Broker {
         let observer: nb_transport::supervisor::StateObserver = Arc::new(move |old, new| {
             let Some(inner) = weak.upgrade() else { return };
             inner.metrics.link_state_changes.inc();
+            // Wake any wait_for_link_stats() waiter to re-check.
+            inner.link_cv.notify_all();
             let (counter, stage) = match (old, new) {
                 (_, LinkState::Up) => (&inner.metrics.link_reconnects, Stage::LinkUp),
                 (LinkState::Up, _) => (&inner.metrics.link_down_events, Stage::LinkDown),
@@ -807,6 +883,14 @@ fn route(inner: &Inner, mut msg: Message, origin: Origin) {
         None
     };
 
+    if inner.monitor_on.load(Ordering::Relaxed)
+        && (!client_senders.is_empty()
+            || !internal_senders.is_empty()
+            || !neighbor_senders.is_empty())
+    {
+        notify_monitor(inner, &msg);
+    }
+
     let frame = msg.to_bytes();
     let delivered_family = inner.metrics.delivered_for(&family);
     for sender in &client_senders {
@@ -844,6 +928,29 @@ fn route(inner: &Inner, mut msg: Message, origin: Origin) {
             }
         }
     }
+}
+
+/// Reports a slow-path delivery decision to the attached monitor
+/// (caller has already checked `monitor_on` and that the message has
+/// at least one recipient).
+fn notify_monitor(inner: &Inner, msg: &Message) {
+    let guard = inner.monitor.read();
+    let Some(monitor) = guard.as_ref() else {
+        return;
+    };
+    monitor.on_delivery(&DeliveryEvent {
+        node: &inner.id,
+        topic: TopicRef::Owned(&msg.topic),
+        topic_hash: nb_wire::topic_hash(&msg.topic),
+        sender: &msg.sender,
+        msg_id: msg.id,
+        hop: msg.trace.map(|ctx| ctx.hop_count),
+        token: match &msg.token {
+            Some(token) => TokenSource::Decoded(token),
+            None => TokenSource::Absent,
+        },
+        now_ms: inner.clock.now_ms(),
+    });
 }
 
 /// Where a raw frame entered the broker, by reference — the fast
@@ -943,6 +1050,22 @@ fn try_fast_route(inner: &Inner, frame: &mut [u8], origin: OriginRef<'_>) -> boo
         OriginRef::Neighbor(_) => !policy.suppress_broker,
     };
 
+    if entry.monitored && (!entry.clients.is_empty() || (forward_allowed && !entry.neighbors.is_empty()))
+    {
+        // `monitored` was resolved against the attached monitor's
+        // properties at fill time (attach bumps the cache version), so
+        // unmonitored topics skip the tap with this one branch.
+        // Report the delivery before patching the hop byte (the view
+        // still borrows the frame); `hop` is the post-increment value
+        // the frame is about to carry onward.
+        let hop = match hop_patch {
+            Some((_, hop)) => Some(hop),
+            None => view.trace.as_ref().map(|ctx| ctx.hop_count),
+        };
+        if let Some(monitor) = inner.monitor.read().as_ref() {
+            monitor.on_delivery(&DeliveryEvent::from_view(&inner.id, &view, frame, hash, hop));
+        }
+    }
     if let Some((off, hop)) = hop_patch {
         frame[off] = hop;
     }
@@ -1026,12 +1149,23 @@ fn fill_route_entry(
             .collect();
         (version, clients, neighbors, has_internal)
     };
+    // Resolve the monitor's interest *after* the version snapshot: a
+    // monitor attached since then bumped the version under the same
+    // state lock, so this entry is already stale and the conservative
+    // read here can never be served past an attach.
+    let monitored = inner.monitor_on.load(Ordering::Acquire)
+        && inner
+            .monitor
+            .read()
+            .as_ref()
+            .is_some_and(|m| m.monitors_topic(hash, &TopicRef::Owned(&topic)));
     let entry = Arc::new(RouteEntry {
         topic,
         policy,
         clients,
         neighbors,
         has_internal,
+        monitored,
         published_family,
         delivered_family,
     });

@@ -180,6 +180,13 @@ pub(crate) struct RouteEntry {
     /// Whether any in-process consumer matches: those need an owned
     /// [`nb_wire::Message`], so such topics always take the full path.
     pub has_internal: bool,
+    /// Whether an attached runtime monitor has at least one delivery
+    /// property governing this topic, resolved at fill time (`false`
+    /// when no monitor is attached). Attaching a monitor bumps the
+    /// cache version, so entries filled before the attach are never
+    /// consulted afterwards — unmonitored topics pay one branch here
+    /// instead of a lock probe per frame.
+    pub monitored: bool,
     /// Cached `broker.publish.topic.<family>` handle.
     pub published_family: Counter,
     /// Cached `broker.deliver.topic.<family>` handle.
@@ -287,6 +294,7 @@ mod tests {
             clients: Vec::new(),
             neighbors: Vec::new(),
             has_internal: false,
+            monitored: false,
             published_family: registry.counter("test.pub"),
             delivered_family: registry.counter("test.del"),
         })

@@ -23,8 +23,9 @@ fn topic() -> Topic {
 
 /// Drains `expected` messages and checks them off against a
 /// per-publisher sequence ledger: every (publisher, seq) pair must
-/// arrive exactly once and in increasing seq order per publisher.
-fn collect_and_check(sub: &nb_broker::BrokerClient, expected: usize, who: &str) {
+/// arrive exactly once and in increasing seq order per publisher,
+/// across exactly `senders` distinct publishers.
+fn collect_from(sub: &nb_broker::BrokerClient, expected: usize, senders: usize, who: &str) {
     let mut last_seq: HashMap<String, u32> = HashMap::new();
     let mut received = 0usize;
     while received < expected {
@@ -47,7 +48,12 @@ fn collect_and_check(sub: &nb_broker::BrokerClient, expected: usize, who: &str) 
         last_seq.insert(msg.sender.clone(), seq);
         received += 1;
     }
-    assert_eq!(last_seq.len(), PUBLISHERS, "{who}: missing a publisher entirely");
+    assert_eq!(last_seq.len(), senders, "{who}: missing a publisher entirely");
+}
+
+/// See [`collect_from`] — the common case with `PUBLISHERS` senders.
+fn collect_and_check(sub: &nb_broker::BrokerClient, expected: usize, who: &str) {
+    collect_from(sub, expected, PUBLISHERS, who);
 }
 
 #[test]
@@ -122,4 +128,90 @@ fn concurrent_publishers_lose_and_duplicate_nothing() {
         fast >= expected as u64,
         "fast path barely used: {fast} of {expected} publishes"
     );
+}
+
+/// A subscriber that unsubscribes (and re-points its subscription at
+/// another topic) in the middle of a flood must never receive another
+/// hot-topic message once the broker acknowledges the change — cached
+/// route entries from before the change are stale and must not be
+/// served.
+#[test]
+fn mid_flood_unsubscribe_never_delivers_to_a_stale_subscriber() {
+    let net = Arc::new(BrokerNetwork::chain(
+        2,
+        LinkConfig::instant(),
+        system_clock(),
+        BrokerConfig::default(),
+    ));
+    assert!(net.wait_for_mesh(Duration::from_secs(10)));
+    let cold = Topic::parse("/Stress/Cold").unwrap();
+
+    // The keeper (remote, so neighbor forwarding stays hot) holds the
+    // subscription for the whole flood and must see every message; the
+    // victim drops out mid-flood and must see none after the ack.
+    let keeper = net.attach_client(1, "keeper").unwrap();
+    let victim = net.attach_client(0, "victim").unwrap();
+    keeper.subscribe(topic(), Duration::from_secs(10)).unwrap();
+    victim.subscribe(topic(), Duration::from_secs(10)).unwrap();
+    assert!(net.broker(0).wait_for_remote_subscription(&topic(), Duration::from_secs(10)));
+
+    let publishers: Vec<_> = (0..PUBLISHERS)
+        .map(|p| {
+            let client = net.attach_client(0, &format!("pub-{p}")).unwrap();
+            std::thread::spawn(move || {
+                for seq in 0..PER_PUBLISHER {
+                    client
+                        .publish(topic(), Payload::Blob { data: seq.to_be_bytes().to_vec() })
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Mid-flood: the victim proves it is receiving, then changes its
+    // subscription policy — off the hot topic, onto the cold one.
+    for _ in 0..100 {
+        victim.next_message(Duration::from_secs(10)).expect("victim receives mid-flood");
+    }
+    victim.unsubscribe(topic(), Duration::from_secs(10)).unwrap();
+    victim.subscribe(cold.clone(), Duration::from_secs(10)).unwrap();
+
+    // Drain deliveries routed before the ack (already queued or in
+    // flight on the instant links) until the victim's queue goes quiet.
+    while victim.next_message(Duration::from_millis(300)).is_ok() {}
+
+    for p in publishers {
+        p.join().unwrap();
+    }
+
+    // Guaranteed post-ack traffic: a fresh publisher floods the hot
+    // topic (rebuilding the route cache entry), then marks the cold
+    // topic so the victim's new subscription proves live.
+    let late = net.attach_client(0, "pub-late").unwrap();
+    for seq in 0..200u32 {
+        late.publish(topic(), Payload::Blob { data: seq.to_be_bytes().to_vec() })
+            .unwrap();
+    }
+    late.publish(cold.clone(), Payload::Blob { data: u32::MAX.to_be_bytes().to_vec() })
+        .unwrap();
+
+    // The victim sees exactly the cold marker — zero stale hot-topic
+    // deliveries — and then nothing.
+    let marker = victim.next_message(Duration::from_secs(10)).expect("cold marker arrives");
+    assert_eq!(marker.topic, cold, "stale delivery after unsubscribe ack");
+    assert!(
+        victim.next_message(Duration::from_millis(500)).is_err(),
+        "victim received hot-topic traffic after unsubscribing"
+    );
+
+    // The keeper saw the entire flood exactly once: the cache
+    // invalidation dropped the victim without perturbing routing.
+    let expected = PUBLISHERS * PER_PUBLISHER as usize + 200;
+    collect_from(&keeper, expected, PUBLISHERS + 1, "keeper");
+    assert!(keeper.next_message(Duration::from_millis(200)).is_err());
+
+    // The unsubscribe/resubscribe really did invalidate cached routes.
+    let snap = net.broker(0).metrics_snapshot();
+    let stale = snap.counter("broker.route.cache_stale").unwrap_or(0);
+    assert!(stale > 0, "no cached route entry was ever invalidated");
 }

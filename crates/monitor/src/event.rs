@@ -1,0 +1,151 @@
+//! The observation model: what the broker and the tracing engine
+//! report to an attached [`MonitorSet`](crate::MonitorSet).
+//!
+//! Events borrow from the caller's stack — the broker's fast path
+//! hands over a [`nb_wire::MessageView`] into the very frame buffer it
+//! is about to forward, so building an event costs no allocation.
+
+use nb_wire::codec::Decode;
+use nb_wire::{AuthorizationToken, MessageView, Topic, TopicView};
+
+/// A borrowed view of the topic a delivery happened on — either the
+/// owned [`Topic`] of a decoded message (slow path) or the zero-copy
+/// [`TopicView`] of a cached-route frame (fast path).
+#[derive(Debug, Clone, Copy)]
+pub enum TopicRef<'a> {
+    /// Owned-decode path: the topic of a `nb_wire::Message`.
+    Owned(&'a Topic),
+    /// Zero-copy path: the topic section of a raw frame.
+    View(&'a TopicView<'a>),
+}
+
+impl TopicRef<'_> {
+    /// Whether the topic matches a routing filter (`*` one segment,
+    /// trailing `#` any suffix). Allocation-free on both variants.
+    pub fn matches_filter(&self, filter: &Topic) -> bool {
+        match self {
+            TopicRef::Owned(t) => t.matches_filter(filter),
+            TopicRef::View(v) => v.matches_filter(filter),
+        }
+    }
+
+    /// Renders the topic path (only called on the violation path,
+    /// where allocation is fine).
+    pub fn render(&self) -> String {
+        match self {
+            TopicRef::Owned(t) => t.to_string(),
+            TopicRef::View(v) => v
+                .to_topic()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|_| "<invalid topic>".to_string()),
+        }
+    }
+}
+
+/// Where an event's authorization token can be found, if anywhere.
+///
+/// The fast path never decodes tokens (that is the point of the route
+/// cache), so it hands the monitor the raw frame instead; the monitor
+/// performs the owned decode lazily, and only when a `require-token`
+/// property actually matched the topic.
+#[derive(Debug, Clone, Copy)]
+pub enum TokenSource<'a> {
+    /// The envelope carries no token.
+    Absent,
+    /// Slow path: the token was already decoded with the message.
+    Decoded(&'a AuthorizationToken),
+    /// Fast path: the frame's header flags a token; decode from these
+    /// raw bytes on demand.
+    Frame(&'a [u8]),
+}
+
+impl TokenSource<'_> {
+    /// Resolves the token to an owned value, decoding the frame if
+    /// needed. `None` means genuinely absent; `Some(Err(..))` means
+    /// the frame flagged a token but would not decode.
+    pub fn resolve(&self) -> Option<Result<AuthorizationToken, nb_wire::WireError>> {
+        match self {
+            TokenSource::Absent => None,
+            TokenSource::Decoded(t) => Some(Ok((*t).clone())),
+            TokenSource::Frame(frame) => match nb_wire::Message::from_bytes(frame) {
+                Ok(msg) => msg.token.map(Ok),
+                Err(e) => Some(Err(e)),
+            },
+        }
+    }
+}
+
+/// One delivery decision: broker `node` is about to hand `sender`'s
+/// message to at least one local subscriber or downstream neighbour.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryEvent<'a> {
+    /// Broker reporting the event.
+    pub node: &'a str,
+    /// Topic the message was routed on.
+    pub topic: TopicRef<'a>,
+    /// `nb_wire::topic_hash` of the topic — the caller already has it
+    /// on the fast path, and the monitor's prefilter keys on it.
+    pub topic_hash: u64,
+    /// Publishing client/broker id from the envelope.
+    pub sender: &'a str,
+    /// Envelope message id (unique per sender).
+    pub msg_id: u64,
+    /// Hop count from the trace/TTL section, `None` if untraced.
+    pub hop: Option<u8>,
+    /// Authorization evidence.
+    pub token: TokenSource<'a>,
+    /// Wall-clock milliseconds for token-window checks and reports.
+    pub now_ms: u64,
+}
+
+impl<'a> DeliveryEvent<'a> {
+    /// Builds an event from a zero-copy frame view (broker fast path).
+    /// `hop` is the post-increment hop count the frame will carry
+    /// onward; `frame` must be the buffer `view` was parsed from.
+    pub fn from_view(
+        node: &'a str,
+        view: &'a MessageView<'a>,
+        frame: &'a [u8],
+        topic_hash: u64,
+        hop: Option<u8>,
+    ) -> Self {
+        DeliveryEvent {
+            node,
+            topic: TopicRef::View(&view.topic),
+            topic_hash,
+            sender: view.sender,
+            msg_id: view.id,
+            hop,
+            token: if view.has_token {
+                TokenSource::Frame(frame)
+            } else {
+                TokenSource::Absent
+            },
+            now_ms: view.timestamp_ms,
+        }
+    }
+}
+
+/// The three availability verdicts the tracing engine can render
+/// about a session (collapsing the trace vocabulary to what the
+/// causal-consistency property needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// ALLS_WELL — the entity responded.
+    AllsWell,
+    /// FAILURE_SUSPICION — pings outstanding past the soft deadline.
+    Suspect,
+    /// FAILED — the failure detector gave up on the entity.
+    Failed,
+}
+
+impl VerdictKind {
+    /// Human-readable name used in violation reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictKind::AllsWell => "AllsWell",
+            VerdictKind::Suspect => "Suspect",
+            VerdictKind::Failed => "Failed",
+        }
+    }
+}

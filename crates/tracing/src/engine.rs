@@ -22,8 +22,9 @@ use nb_wire::codec::{Decode, Encode};
 use nb_wire::payload::{SessionGrant, TraceKeyMaterial};
 use nb_wire::token::AuthorizationToken;
 use nb_wire::trace::{topics, EntityState, TraceCategory, TraceEvent, TraceKind};
+use nb_monitor::{MonitorSet, VerdictKind};
 use nb_wire::{Message, Payload};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -148,6 +149,17 @@ struct EngineInner {
     stop: AtomicBool,
     rng: Mutex<StdRng>,
     consumer: String,
+    /// Attached runtime-verification monitor, if any: sees every ping
+    /// issued, every response observed, and every availability
+    /// verdict rendered (see [`TracingEngine::attach_monitor`]).
+    monitor: RwLock<Option<MonitorSet>>,
+}
+
+/// Reports a rendered availability verdict to the attached monitor.
+fn notify_verdict(inner: &EngineInner, entity: &str, verdict: VerdictKind, now: u64) {
+    if let Some(monitor) = inner.monitor.read().as_ref() {
+        monitor.on_verdict(inner.broker.id(), entity, verdict, now);
+    }
 }
 
 /// Handle to a running tracing engine.
@@ -185,6 +197,7 @@ impl TracingEngine {
             stop: AtomicBool::new(false),
             rng: Mutex::new(StdRng::seed_from_u64(setup.seed)),
             consumer,
+            monitor: RwLock::new(None),
         });
 
         let dispatch_inner = Arc::clone(&inner);
@@ -222,6 +235,15 @@ impl TracingEngine {
     /// `auto_tick` disabled).
     pub fn tick_now(&self) {
         run_tick(&self.inner);
+    }
+
+    /// Attaches an online runtime-verification monitor: the engine
+    /// reports every ping it issues, every ping response it observes,
+    /// and every availability verdict it renders, so the monitor's
+    /// `causal-verdicts` property can check that verdicts follow from
+    /// actual ping traffic.
+    pub fn attach_monitor(&self, monitor: MonitorSet) {
+        *self.inner.monitor.write() = Some(monitor);
     }
 
     /// Stops background threads (best effort).
@@ -606,12 +628,16 @@ fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
         } => {
             session.state = state;
             let recovered = session.detector.on_response(seq, now);
+            if let Some(monitor) = inner.monitor.read().as_ref() {
+                monitor.on_ping_answered(inner.broker.id(), &session.entity_id, seq, now);
+            }
             if recovered == Some(DetectorEvent::Recover) {
                 publish_trace(inner, session, TraceKind::AllsWell, now);
             }
             // ALLS_WELL heartbeat on every answered ping (gated on
             // interest like all AllUpdates traffic).
             publish_trace(inner, session, TraceKind::AllsWell, now);
+            notify_verdict(inner, &session.entity_id, VerdictKind::AllsWell, now);
         }
         Payload::StateReport { from, to } => {
             session.state = to;
@@ -884,6 +910,7 @@ fn run_tick(inner: &Arc<EngineInner>) {
         match session.detector.on_tick(now) {
             Some(DetectorEvent::Suspect) => {
                 inner.metrics.suspicions.inc();
+                notify_verdict(inner, &session.entity_id, VerdictKind::Suspect, now);
                 let t0 = now_ns();
                 if let Some(ctx) = publish_trace(inner, session, TraceKind::FailureSuspicion, now)
                 {
@@ -896,6 +923,7 @@ fn run_tick(inner: &Arc<EngineInner>) {
             }
             Some(DetectorEvent::Fail) => {
                 inner.metrics.failures.inc();
+                notify_verdict(inner, &session.entity_id, VerdictKind::Failed, now);
                 if let Some(evidence) = session.detector.last_evidence_ms() {
                     inner
                         .metrics
@@ -921,6 +949,9 @@ fn run_tick(inner: &Arc<EngineInner>) {
             && session.detector.ping_due(now)
         {
             let seq = session.detector.on_ping_sent(now);
+            if let Some(monitor) = inner.monitor.read().as_ref() {
+                monitor.on_ping_sent(inner.broker.id(), &session.entity_id, seq, now);
+            }
             let ctx = mint_trace(inner);
             let t0 = if ctx.is_some_and(|c| c.sampled) {
                 now_ns()

@@ -16,6 +16,7 @@ use nb_broker::network::{BrokerNetwork, Medium};
 use nb_broker::BrokerConfig;
 use nb_crypto::cert::{CertificateAuthority, Credential, Validity};
 use nb_crypto::rsa::RsaPublicKey;
+use nb_monitor::MonitorSet;
 use nb_tdn::TdnCluster;
 use nb_transport::clock::SharedClock;
 use nb_transport::sim::LinkConfig;
@@ -59,6 +60,7 @@ pub struct Deployment {
     config: TracingConfig,
     rng: Mutex<StdRng>,
     seed: AtomicU64,
+    monitors: Mutex<Option<MonitorSet>>,
 }
 
 impl Deployment {
@@ -140,7 +142,48 @@ impl Deployment {
             config,
             rng: Mutex::new(rng),
             seed: AtomicU64::new(1),
+            monitors: Mutex::new(None),
         })
+    }
+
+    /// Attaches online runtime-verification monitors to the whole
+    /// deployment (idempotent — later calls return the same set).
+    ///
+    /// Builds the standard property set
+    /// ([`nb_monitor::standard_properties`]) with the broker TTL
+    /// bound, wires it into every broker's data plane and every
+    /// engine's verdict path, and publishes signed violation reports
+    /// on the audit topic ([`nb_monitor::audit_topic`]) through broker
+    /// 0. The strict TTL-presence property is enabled only when
+    /// telemetry is on (untraced publications are legitimate
+    /// otherwise).
+    pub fn monitors(&self) -> Result<MonitorSet> {
+        let mut slot = self.monitors.lock();
+        if let Some(existing) = &*slot {
+            return Ok(existing.clone());
+        }
+        let credential = {
+            let validity = deployment_validity(self.clock.now_ms());
+            let mut rng = self.rng.lock();
+            self.ca.lock().issue("Monitor", validity, &mut *rng)?
+        };
+        let specs = nb_monitor::standard_properties(
+            BrokerConfig::default().max_hops,
+            self.config.telemetry.enabled,
+        );
+        let monitor = MonitorSet::new(specs, credential, self.config.token_skew_ms);
+        for broker in &self.network.brokers {
+            broker.attach_monitor(monitor.clone());
+        }
+        for engine in &self.engines {
+            engine.attach_monitor(monitor.clone());
+        }
+        let audit_broker = self.network.brokers[0].clone();
+        monitor.set_audit_sink(std::sync::Arc::new(move |msg| {
+            audit_broker.publish_internal(msg);
+        }));
+        *slot = Some(monitor.clone());
+        Ok(monitor)
     }
 
     /// The CA's public key (trust anchor).
@@ -185,7 +228,11 @@ impl Deployment {
         for (broker, engine) in self.network.brokers.iter().zip(&self.engines) {
             merged = merged.merge(engine.metrics_snapshot().prefixed(broker.id()));
         }
-        merged.merge(self.tdns.metrics_snapshot())
+        merged = merged.merge(self.tdns.metrics_snapshot());
+        if let Some(monitor) = &*self.monitors.lock() {
+            merged = merged.merge(monitor.metrics_snapshot());
+        }
+        merged
     }
 
     /// Captures every flight recorder in the deployment — each

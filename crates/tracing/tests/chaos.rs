@@ -15,7 +15,7 @@ use nb_tracing::harness::{Deployment, Topology};
 use nb_tracing::view::EntityStatus;
 use nb_transport::clock::system_clock;
 use nb_transport::sim::LinkConfig;
-use nb_transport::supervisor::{LinkState, SupervisorConfig};
+use nb_transport::supervisor::{LinkState, LinkStats, SupervisorConfig};
 use nb_wire::payload::DiscoveryRestrictions;
 use nb_wire::trace::TraceCategory;
 use std::io::Write;
@@ -23,17 +23,26 @@ use std::time::{Duration, Instant};
 
 const WAIT: Duration = Duration::from_secs(15);
 
-/// Sleep-polls `pred` — used only for cross-component conditions that
-/// have no single condition variable to ride (broker link stats).
-fn wait_until(timeout: Duration, mut pred: impl FnMut() -> bool) -> bool {
+/// Waits until any broker's supervised-link stats satisfy `pred`,
+/// riding each broker's link condition variable
+/// ([`nb_broker::Broker::wait_for_link_stats`]) in short deadline
+/// slices instead of sleep-polling.
+fn wait_any_link(
+    dep: &Deployment,
+    timeout: Duration,
+    pred: impl Fn(&[LinkStats]) -> bool + Copy,
+) -> bool {
     let deadline = Instant::now() + timeout;
-    while Instant::now() < deadline {
-        if pred() {
-            return true;
+    loop {
+        for broker in &dep.network.brokers {
+            if broker.wait_for_link_stats(Duration::from_millis(100), pred) {
+                return true;
+            }
         }
-        std::thread::sleep(Duration::from_millis(10));
+        if Instant::now() >= deadline {
+            return false;
+        }
     }
-    false
 }
 
 /// Exercises the TCP oversized-frame guard once so the lazily
@@ -109,12 +118,10 @@ fn secured_tracking_survives_middle_link_outage() {
     // failure and start buffering.
     assert!(dep.network.drop_link(1), "middle link must be droppable");
     assert!(
-        wait_until(WAIT, || {
-            dep.network.brokers.iter().any(|b| {
-                b.link_stats()
-                    .iter()
-                    .any(|s| s.send_failures > 0 || s.state != LinkState::Up)
-            })
+        wait_any_link(&dep, WAIT, |stats| {
+            stats
+                .iter()
+                .any(|s| s.send_failures > 0 || s.state != LinkState::Up)
         }),
         "no supervisor observed the outage"
     );
@@ -123,12 +130,7 @@ fn secured_tracking_survives_middle_link_outage() {
     // repair cycle and replay what they buffered.
     assert!(dep.network.restore_link(1));
     assert!(
-        wait_until(WAIT, || {
-            dep.network
-                .brokers
-                .iter()
-                .any(|b| b.link_stats().iter().any(|s| s.reconnects > 0))
-        }),
+        wait_any_link(&dep, WAIT, |stats| stats.iter().any(|s| s.reconnects > 0)),
         "no supervised link completed a repair cycle"
     );
 

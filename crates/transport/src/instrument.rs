@@ -34,3 +34,5 @@ transport_counter!(LINK_RECONNECTS, "transport.link.reconnects");
 transport_counter!(LINK_FRAMES_BUFFERED, "transport.link.frames.buffered");
 transport_counter!(LINK_FRAMES_REPLAYED, "transport.link.frames.replayed");
 transport_counter!(LINK_FRAMES_SHED, "transport.link.frames.shed");
+transport_counter!(SIM_FRAMES_TAMPERED, "transport.sim.frames.tampered");
+transport_counter!(SIM_FRAMES_REPLAYED, "transport.sim.frames.replayed");

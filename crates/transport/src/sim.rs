@@ -22,6 +22,20 @@
 //! [`SimNetwork::restore`] heals. Combined with the seeded RNG this
 //! makes outage scenarios scriptable and reproducible — the substrate
 //! the supervised-link layer ([`crate::supervisor`]) is tested against.
+//!
+//! ## Adversarial hooks
+//!
+//! Beyond benign faults, a link can host an *adversary* — the red-team
+//! substrate the runtime-verification monitors (`nb-monitor`) are
+//! proven against. [`SimNetwork::tamper`] installs a frame-rewriting
+//! function on a link (forge a token, strip a TTL section, flip a
+//! signature byte: anything a man-in-the-middle could do to bytes in
+//! flight), and [`SimNetwork::replay`] re-sends every frame `copies`
+//! extra times (a replay attack, distinct from the probabilistic
+//! `duplicate_rate` in that it duplicates *every* frame
+//! deterministically). [`SimNetwork::clear_adversary`] stands the
+//! attacker down. Tampered and replayed frames are counted in
+//! `transport.sim.frames.tampered` / `transport.sim.frames.replayed`.
 
 use crate::endpoint::{Endpoint, FrameSender};
 use crate::error::TransportError;
@@ -51,6 +65,19 @@ enum Fault {
     /// Frames are dropped with probability `p` until `until`, then the
     /// link heals itself.
     Flaky { p: f64, until: Instant },
+}
+
+/// A frame-rewriting adversary function: receives each frame crossing
+/// the link and returns the bytes that actually go on the wire.
+pub type TamperFn = Arc<dyn Fn(Vec<u8>) -> Vec<u8> + Send + Sync>;
+
+/// Scripted man-in-the-middle behaviour on one link (absent = honest).
+#[derive(Clone, Default)]
+struct Adversary {
+    /// Rewrites every frame before it is scheduled.
+    tamper: Option<TamperFn>,
+    /// Extra copies of every frame (deterministic replay attack).
+    replay: u32,
 }
 
 /// Per-direction link behaviour.
@@ -141,6 +168,7 @@ struct Shared {
     rng: Mutex<StdRng>,
     next_link: AtomicU64,
     faults: Mutex<HashMap<LinkId, Fault>>,
+    adversaries: Mutex<HashMap<LinkId, Adversary>>,
 }
 
 /// A simulated network: one scheduler thread, any number of links.
@@ -161,6 +189,7 @@ impl SimNetwork {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             next_link: AtomicU64::new(0),
             faults: Mutex::new(HashMap::new()),
+            adversaries: Mutex::new(HashMap::new()),
         });
         let thread_shared = Arc::clone(&shared);
         let scheduler = std::thread::Builder::new()
@@ -264,6 +293,41 @@ impl SimNetwork {
         self.shared.faults.lock().remove(&link);
     }
 
+    /// Installs a frame-rewriting adversary on a link: every frame in
+    /// both directions passes through `f` before hitting the wire.
+    /// Use it to forge tokens, strip trace/TTL sections, corrupt
+    /// signatures — the violations the `nb-monitor` properties exist
+    /// to catch. Replaces any previous tamper function on the link.
+    pub fn tamper<F>(&self, link: LinkId, f: F)
+    where
+        F: Fn(Vec<u8>) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.shared
+            .adversaries
+            .lock()
+            .entry(link)
+            .or_default()
+            .tamper = Some(Arc::new(f));
+    }
+
+    /// Installs a replay adversary on a link: every frame is delivered
+    /// `1 + copies` times. Unlike `duplicate_rate`, this duplicates
+    /// deterministically — the classic replay attack an exactly-once
+    /// monitor must flag.
+    pub fn replay(&self, link: LinkId, copies: u32) {
+        self.shared
+            .adversaries
+            .lock()
+            .entry(link)
+            .or_default()
+            .replay = copies;
+    }
+
+    /// Stands down any adversary on the link (tamper and replay).
+    pub fn clear_adversary(&self, link: LinkId) {
+        self.shared.adversaries.lock().remove(&link);
+    }
+
     /// Whether the link currently has a scripted fault.
     pub fn is_faulted(&self, link: LinkId) -> bool {
         match self.shared.faults.lock().get(&link) {
@@ -364,6 +428,26 @@ impl FrameSender for SimSender {
             // A flaky link eats the frame silently, like wire loss.
             return Ok(());
         }
+        // Man-in-the-middle: rewrite the frame and/or schedule replay
+        // copies. The adversary map is empty in honest runs, so this
+        // is one uncontended lock on the hot path.
+        let (tampered, replays) = {
+            let adversaries = self.shared.adversaries.lock();
+            match adversaries.get(&self.link) {
+                None => (None, 0),
+                Some(adv) => (
+                    adv.tamper.as_ref().map(|f| f(frame.to_vec())),
+                    adv.replay,
+                ),
+            }
+        };
+        if tampered.is_some() {
+            crate::instrument::SIM_FRAMES_TAMPERED.inc();
+        }
+        if replays > 0 {
+            crate::instrument::SIM_FRAMES_REPLAYED.add(u64::from(replays));
+        }
+        let frame: &[u8] = tampered.as_deref().unwrap_or(frame);
         // Instant, lossless, exact links (the benchmark/test loopback
         // shape) skip the scheduler entirely: no RNG draws, no heap
         // insert, no condvar signal — straight into the destination
@@ -375,7 +459,9 @@ impl FrameSender for SimSender {
         {
             crate::instrument::SIM_FRAMES_DIRECT.inc();
             // Receiver may be gone; same as a scheduler-side discard.
-            let _ = self.dest.send(frame.to_vec());
+            for _ in 0..=replays {
+                let _ = self.dest.send(frame.to_vec());
+            }
             return Ok(());
         }
         let (dropped, duplicated, jitter1, jitter2) = {
@@ -417,6 +503,11 @@ impl FrameSender for SimSender {
         push(now + self.cfg.latency + jitter1, frame.to_vec());
         if duplicated {
             push(now + self.cfg.latency + jitter2, frame.to_vec());
+        }
+        for _ in 0..replays {
+            // Replay copies trail the original by the base latency —
+            // the attacker recorded the frame and re-sends it.
+            push(now + self.cfg.latency + self.cfg.latency + jitter2, frame.to_vec());
         }
         drop(queue);
         self.shared.cv.notify_all();
@@ -659,6 +750,57 @@ mod tests {
         assert_eq!(c.send(b"x"), Err(TransportError::Closed));
         e.send(b"alive").unwrap();
         assert_eq!(f.recv_timeout(Duration::from_secs(1)).unwrap(), b"alive");
+    }
+
+    #[test]
+    fn tamper_rewrites_frames_in_flight() {
+        let net = SimNetwork::new(17);
+        let (a, b, link) = net.symmetric_link_with_id(LinkConfig::instant());
+        net.tamper(link, |mut frame| {
+            frame.reverse();
+            frame
+        });
+        a.send(b"abc").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"cba");
+        net.clear_adversary(link);
+        a.send(b"abc").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn replay_delivers_deterministic_copies() {
+        let net = SimNetwork::new(18);
+        let (a, b, link) = net.symmetric_link_with_id(LinkConfig::instant());
+        net.replay(link, 2);
+        a.send(b"echo").unwrap();
+        for _ in 0..3 {
+            assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"echo");
+        }
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(50)),
+            Err(TransportError::Timeout)
+        );
+    }
+
+    #[test]
+    fn replay_rides_the_scheduler_for_latencied_links() {
+        let net = SimNetwork::new(19);
+        let cfg = LinkConfig {
+            latency: Duration::from_millis(5),
+            jitter: Duration::ZERO,
+            loss_rate: 0.0,
+            duplicate_rate: 0.0,
+        };
+        let (a, b, link) = net.symmetric_link_with_id(cfg);
+        net.replay(link, 1);
+        net.tamper(link, |mut frame| {
+            frame[0] ^= 0xff;
+            frame
+        });
+        a.send(&[0x00, 0x42]).unwrap();
+        // Both the original send and its replay copy carry the tamper.
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), [0xff, 0x42]);
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), [0xff, 0x42]);
     }
 
     #[test]
