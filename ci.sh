@@ -50,25 +50,7 @@ if ! $quick; then
     # then validate the JSON shape documented in docs/PERFORMANCE.md.
     echo "== throughput report (quick) =="
     cargo run --release -p nb-bench --bin throughput_report -- --quick
-    python3 - <<'PY'
-import json
-with open("BENCH_throughput.json") as f:
-    report = json.load(f)
-assert report["bench"] == "throughput_report"
-assert report["mode"] in ("quick", "full")
-assert report["threads"] >= 1
-for section in ("baseline", "overhauled"):
-    run = report[section]
-    for key in ("msgs_per_sec", "p50_route_ns", "p99_route_ns",
-                "delivered", "fastpath", "slowpath",
-                "cache_hits", "cache_stale"):
-        assert key in run, f"{section}.{key} missing"
-    assert run["msgs_per_sec"] > 0
-assert report["overhauled"]["fastpath"] > 0
-assert report["speedup"] > 1.0
-print("BENCH_throughput.json shape OK "
-      f"(speedup {report['speedup']}x)")
-PY
+    python3 ci/check_bench_json.py throughput
 
     # Runtime-verification smoke: drives the same loopback broker with
     # the standard monitors off, on (unmonitored topic), and on a fully
@@ -79,27 +61,17 @@ PY
     # docs/OBSERVABILITY.md.
     echo "== monitor report (quick) =="
     cargo run --release -p nb-bench --bin monitor_report -- --quick
-    python3 - <<'PY'
-import json
-with open("BENCH_monitor.json") as f:
-    report = json.load(f)
-assert report["bench"] == "monitor_report"
-assert report["mode"] in ("quick", "full")
-assert report["threads"] >= 1
-for section in ("monitors_off", "monitors_on", "monitored_topic"):
-    run = report[section]
-    for key in ("msgs_per_sec", "p50_route_ns", "p99_route_ns",
-                "delivered"):
-        assert key in run, f"{section}.{key} missing"
-    assert run["msgs_per_sec"] > 0
-assert report["monitor_events"] > 0
-assert report["violations"] == 0
-assert report["prefilter_overhead_pct"] < 10
-assert "per_event_check_ns" in report
-assert "sampled_check_ns_mean" in report
-print("BENCH_monitor.json shape OK "
-      f"(overhead {report['prefilter_overhead_pct']}%)")
-PY
+    python3 ci/check_bench_json.py monitor
+
+    # Telemetry-plane smoke: drives the loopback broker with the
+    # node's own telemetry publisher off and on (aggregator ingesting
+    # live), asserts (inside the binary) exact delivery, that genuine
+    # frames verify, and that telemetry costs < 2% of fast-path
+    # throughput, then writes BENCH_obs.json; validate the shape
+    # documented in docs/OBSERVABILITY.md.
+    echo "== obs report (quick) =="
+    cargo run --release -p nb-bench --bin obs_report -- --quick
+    python3 ci/check_bench_json.py obs
 fi
 
 echo "CI OK"

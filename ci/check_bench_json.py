@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Validate the shape of a BENCH_*.json report.
+
+Usage: check_bench_json.py <schema>
+
+where <schema> is one of ``throughput``, ``monitor`` or ``obs``. Each
+schema names the file the matching bench binary writes, the per-run
+sections it must contain, and the report-level invariants CI holds it
+to (see docs/PERFORMANCE.md and docs/OBSERVABILITY.md). Exits non-zero
+with a message on the first violation.
+"""
+
+import json
+import sys
+
+RUN_KEYS = ("msgs_per_sec", "p50_route_ns", "p99_route_ns", "delivered")
+
+SCHEMAS = {
+    "throughput": {
+        "file": "BENCH_throughput.json",
+        "bench": "throughput_report",
+        "sections": ("baseline", "overhauled"),
+        "extra_run_keys": ("fastpath", "slowpath", "cache_hits", "cache_stale"),
+    },
+    "monitor": {
+        "file": "BENCH_monitor.json",
+        "bench": "monitor_report",
+        "sections": ("monitors_off", "monitors_on", "monitored_topic"),
+        "extra_run_keys": (),
+    },
+    "obs": {
+        "file": "BENCH_obs.json",
+        "bench": "obs_report",
+        "sections": ("telemetry_off", "telemetry_on"),
+        "extra_run_keys": (),
+    },
+}
+
+
+def check(schema_name: str) -> str:
+    schema = SCHEMAS[schema_name]
+    with open(schema["file"]) as f:
+        report = json.load(f)
+
+    assert report["bench"] == schema["bench"], f"wrong bench: {report['bench']}"
+    assert report["mode"] in ("quick", "full"), f"bad mode: {report['mode']}"
+    assert report["threads"] >= 1
+    for section in schema["sections"]:
+        run = report[section]
+        for key in RUN_KEYS + schema["extra_run_keys"]:
+            assert key in run, f"{section}.{key} missing"
+        assert run["msgs_per_sec"] > 0, f"{section} measured nothing"
+
+    if schema_name == "throughput":
+        assert report["overhauled"]["fastpath"] > 0
+        assert report["speedup"] > 1.0, f"no speedup: {report['speedup']}"
+        return f"speedup {report['speedup']}x"
+    if schema_name == "monitor":
+        assert report["monitor_events"] > 0
+        assert report["violations"] == 0
+        assert report["prefilter_overhead_pct"] < 10
+        assert "per_event_check_ns" in report
+        assert "sampled_check_ns_mean" in report
+        return f"overhead {report['prefilter_overhead_pct']}%"
+    if schema_name == "obs":
+        assert report["frames_accepted"] > 0, "telemetry plane never ran"
+        assert report["frames_rejected"] == 0, "genuine frames were rejected"
+        assert report["overhead_pct"] < 2, f"telemetry overhead {report['overhead_pct']}%"
+        assert report["prometheus_bytes"] > 0
+        assert report["json_bytes"] > 0
+        return f"overhead {report['overhead_pct']}%"
+    raise AssertionError(f"unhandled schema {schema_name}")
+
+
+def main() -> int:
+    if len(sys.argv) != 2 or sys.argv[1] not in SCHEMAS:
+        names = ", ".join(sorted(SCHEMAS))
+        print(f"usage: {sys.argv[0]} <{names}>", file=sys.stderr)
+        return 2
+    name = sys.argv[1]
+    try:
+        detail = check(name)
+    except (AssertionError, KeyError, OSError, json.JSONDecodeError) as e:
+        print(f"{SCHEMAS[name]['file']} FAILED: {e!r}", file=sys.stderr)
+        return 1
+    print(f"{SCHEMAS[name]['file']} shape OK ({detail})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

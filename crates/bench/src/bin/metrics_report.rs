@@ -130,4 +130,38 @@ fn main() {
     }
     let _ = near_tracker;
     println!("all layers reporting: broker, tracing, tdn, transport, token, crypto");
+
+    // Epilogue: the same numbers again, but collected over the mesh —
+    // every node self-publishes on the Obs topic and the cluster
+    // aggregator reassembles per-node and cluster-summed views.
+    let obs = dep
+        .telemetry(nb_obs::PublisherConfig::default())
+        .expect("telemetry plane");
+    assert!(
+        wait_until(Duration::from_secs(15), || {
+            obs.publish_all();
+            obs.pump();
+            obs.aggregator().nodes().len() == obs.publishers().len()
+        }),
+        "not every node reached the aggregator"
+    );
+    println!("\n-- per-node view (aggregated over the mesh) --");
+    println!("{}", obs.aggregator().per_node().to_table());
+    println!("-- cluster rollup (summed across nodes) --");
+    let rollup = obs.aggregator().rollup();
+    println!("{}", rollup.to_table());
+    for family in ["broker.", "tracing.", "tdn."] {
+        assert!(
+            rollup.entries().iter().any(|e| e.name.starts_with(family)),
+            "cluster rollup is missing the {family}* family"
+        );
+    }
+    println!(
+        "telemetry plane: {} nodes aggregated, {} frames accepted",
+        obs.aggregator().nodes().len(),
+        obs.aggregator()
+            .metrics_snapshot()
+            .counter("obs.frames.accepted")
+            .unwrap_or(0)
+    );
 }

@@ -19,6 +19,7 @@ use nb_wire::token::Rights;
 use nb_wire::payload::is_control_tag;
 use nb_wire::view::TopicView;
 use nb_monitor::{DeliveryEvent, MonitorSet, TokenSource, TopicRef};
+use nb_obs::{NodeKind, PublisherConfig, TelemetryPublisher};
 use nb_wire::{Message, MessageView, Payload, Topic};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
@@ -354,6 +355,28 @@ impl Broker {
         m.links_supervised
             .set(self.inner.supervisors.lock().len() as i64);
         m.registry.snapshot()
+    }
+
+    /// Builds this broker's telemetry publisher: a periodic reporter
+    /// that snapshots [`Broker::metrics_snapshot`] and publishes the
+    /// changes on the constrained Obs topic through this broker's own
+    /// internal publish path (constraint-exempt, like the monitor
+    /// audit sink). Callers drive it with
+    /// [`TelemetryPublisher::tick`] from a maintenance loop or
+    /// [`TelemetryPublisher::start`]; sign it with
+    /// [`TelemetryPublisher::signed`] before first publish if the
+    /// aggregator requires authenticated streams.
+    pub fn telemetry_publisher(&self, config: PublisherConfig) -> TelemetryPublisher {
+        let source = self.clone();
+        let sink = self.clone();
+        TelemetryPublisher::new(
+            self.id(),
+            NodeKind::Broker,
+            Arc::new(move || source.metrics_snapshot()),
+            Arc::new(move |msg| sink.publish_internal(msg)),
+            self.inner.clock.clone(),
+            config,
+        )
     }
 
     /// Blocks until this broker has registered at least `min`

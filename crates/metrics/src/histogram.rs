@@ -92,14 +92,14 @@ impl Histogram {
             *dst = src.load(Ordering::Relaxed);
         }
         let count = inner.count.load(Ordering::Relaxed);
+        let min = inner.min.load(Ordering::Relaxed);
         HistogramSummary {
             count,
             sum: inner.sum.load(Ordering::Relaxed),
-            min: if count == 0 {
-                0
-            } else {
-                inner.min.load(Ordering::Relaxed)
-            },
+            // `record` bumps `count` before `fetch_min`, so a snapshot
+            // racing the very first observation can see count > 0 with
+            // `min` still at its u64::MAX sentinel; never leak it.
+            min: if count == 0 || min == u64::MAX { 0 } else { min },
             max: inner.max.load(Ordering::Relaxed),
             buckets,
         }
@@ -128,7 +128,105 @@ pub struct HistogramSummary {
     pub buckets: [u64; BUCKETS],
 }
 
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_hi(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 impl HistogramSummary {
+    /// An all-zero summary (no observations).
+    pub fn empty() -> Self {
+        HistogramSummary {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// The change between this (later) summary and an `earlier` one of
+    /// the same histogram.
+    ///
+    /// `count`, `sum` and every bucket subtract exactly (saturating, so
+    /// a restarted source degrades to "everything is new" instead of
+    /// wrapping). `min`/`max` of the in-between window are not
+    /// recoverable from two cumulative summaries, so they are estimated
+    /// from the delta buckets' bounds — exact to bucket resolution —
+    /// and zeroed when the delta is empty. When `earlier` is empty the
+    /// delta is this summary verbatim (exact `min`/`max`).
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSummary) -> HistogramSummary {
+        if earlier.count == 0 {
+            return self.clone();
+        }
+        let mut buckets = [0u64; BUCKETS];
+        let mut lo_bucket = None;
+        let mut hi_bucket = None;
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            let d = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            *slot = d;
+            if d > 0 {
+                lo_bucket.get_or_insert(i);
+                hi_bucket = Some(i);
+            }
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return HistogramSummary::empty();
+        }
+        let max = hi_bucket.map_or(0, |i| bucket_hi(i).min(self.max));
+        let min = lo_bucket.map_or(0, |i| bucket_lo(i).max(self.min)).min(max);
+        HistogramSummary {
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            min,
+            max,
+            buckets,
+        }
+    }
+
+    /// Re-accumulates a [`delta`][Self::delta] on top of this summary.
+    ///
+    /// Inverse of `delta` for `count`, `sum` and the buckets:
+    /// `earlier.accumulate(&later.delta(&earlier))` reproduces `later`
+    /// exactly in those fields. `min`/`max` combine conservatively
+    /// (empty sides are ignored).
+    #[must_use]
+    pub fn accumulate(&self, delta: &HistogramSummary) -> HistogramSummary {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].wrapping_add(delta.buckets[i]);
+        }
+        let min = match (self.count, delta.count) {
+            (0, _) => delta.min,
+            (_, 0) => self.min,
+            _ => self.min.min(delta.min),
+        };
+        HistogramSummary {
+            count: self.count.wrapping_add(delta.count),
+            sum: self.sum.wrapping_add(delta.sum),
+            min,
+            max: self.max.max(delta.max),
+            buckets,
+        }
+    }
+
     /// Mean of the observed values (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -165,7 +263,10 @@ impl HistogramSummary {
                     let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
                     lo + (hi - lo) / 2
                 };
-                return mid.clamp(self.min, self.max);
+                // Defensive .min/.max instead of clamp(): a summary
+                // assembled from racy or delta'd parts may carry
+                // min > max, and clamp would panic on it.
+                return mid.max(self.min).min(self.max.max(self.min));
             }
         }
         self.max
@@ -221,6 +322,49 @@ mod tests {
         assert!(p50 >= s.min && p99 <= s.max);
         assert_eq!(s.quantile(0.0), s.min);
         assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn delta_against_empty_is_identity() {
+        let h = Histogram::new();
+        h.record(5);
+        h.record(300);
+        let s = h.summary();
+        assert_eq!(s.delta(&HistogramSummary::empty()), s);
+    }
+
+    #[test]
+    fn delta_and_accumulate_round_trip_buckets() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        let earlier = h.summary();
+        h.record(7);
+        h.record(7);
+        h.record(u64::MAX);
+        let later = h.summary();
+        let d = later.delta(&earlier);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.sum, later.sum.wrapping_sub(earlier.sum));
+        // min/max are bucket-resolution estimates bracketing the new
+        // observations.
+        assert!(d.min <= 7 && d.min >= 4, "min {}", d.min);
+        assert_eq!(d.max, u64::MAX);
+        let rebuilt = earlier.accumulate(&d);
+        assert_eq!(rebuilt.count, later.count);
+        assert_eq!(rebuilt.sum, later.sum);
+        assert_eq!(rebuilt.buckets, later.buckets);
+        assert_eq!(rebuilt.min, later.min);
+        assert_eq!(rebuilt.max, later.max);
+    }
+
+    #[test]
+    fn delta_of_identical_summaries_is_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.summary();
+        let d = s.delta(&s.clone());
+        assert_eq!(d, HistogramSummary::empty());
     }
 
     #[test]

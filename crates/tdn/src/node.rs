@@ -8,6 +8,7 @@ use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::{CryptoError, Uuid};
 use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 use nb_telemetry::{fresh_span_id, now_ns, FlightRecorder, SpanEvent, Stage, TraceContext};
+use nb_obs::{NodeKind, ObsSink, PublisherConfig, TelemetryPublisher};
 use nb_transport::clock::SharedClock;
 use nb_wire::payload::{DiscoveryRestrictions, TopicAdvertisement};
 use parking_lot::Mutex;
@@ -15,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// TDN errors.
 #[derive(Debug)]
@@ -283,6 +285,26 @@ impl Tdn {
     pub fn metrics_snapshot(&self) -> Snapshot {
         self.metrics.adverts.set(self.advert_count() as i64);
         self.metrics.registry.snapshot()
+    }
+
+    /// Builds this TDN's telemetry publisher. Unlike brokers and
+    /// engines, a TDN holds no broker handle, so the caller supplies
+    /// the `sink` that carries frames into the mesh (typically a
+    /// broker's `publish_internal`).
+    pub fn telemetry_publisher(
+        self: &Arc<Self>,
+        sink: ObsSink,
+        config: PublisherConfig,
+    ) -> TelemetryPublisher {
+        let source = Arc::clone(self);
+        TelemetryPublisher::new(
+            self.id.clone(),
+            NodeKind::Tdn,
+            Arc::new(move || source.metrics_snapshot()),
+            sink,
+            self.clock.clone(),
+            config,
+        )
     }
 }
 

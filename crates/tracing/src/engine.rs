@@ -23,6 +23,7 @@ use nb_wire::payload::{SessionGrant, TraceKeyMaterial};
 use nb_wire::token::AuthorizationToken;
 use nb_wire::trace::{topics, EntityState, TraceCategory, TraceEvent, TraceKind};
 use nb_monitor::{MonitorSet, VerdictKind};
+use nb_obs::{NodeKind, PublisherConfig, TelemetryPublisher};
 use nb_wire::{Message, Payload};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -308,6 +309,25 @@ impl TracingEngine {
     /// publications, pings, verdicts and consumed session messages).
     pub fn flight_recorder(&self) -> &FlightRecorder {
         &self.inner.recorder
+    }
+
+    /// Builds this engine's telemetry publisher: snapshots
+    /// [`TracingEngine::metrics_snapshot`] and publishes the changes
+    /// on the constrained Obs topic through the engine's home broker
+    /// (internal publish path, constraint-exempt). Frames are
+    /// attributed to the engine's consumer id
+    /// (`tracing-engine@<broker>`).
+    pub fn telemetry_publisher(&self, config: PublisherConfig) -> TelemetryPublisher {
+        let source = self.clone();
+        let broker = self.inner.broker.clone();
+        TelemetryPublisher::new(
+            self.inner.consumer.clone(),
+            NodeKind::Engine,
+            Arc::new(move || source.metrics_snapshot()),
+            Arc::new(move |msg| broker.publish_internal(msg)),
+            self.inner.clock.clone(),
+            config,
+        )
     }
 
     /// Captures every `tracing.*` metric of this engine (the session

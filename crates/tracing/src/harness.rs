@@ -17,6 +17,7 @@ use nb_broker::BrokerConfig;
 use nb_crypto::cert::{CertificateAuthority, Credential, Validity};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_monitor::MonitorSet;
+use nb_obs::{AggregatorConfig, ClusterAggregator, PublisherConfig, TelemetryPublisher};
 use nb_tdn::TdnCluster;
 use nb_transport::clock::SharedClock;
 use nb_transport::sim::LinkConfig;
@@ -61,6 +62,135 @@ pub struct Deployment {
     rng: Mutex<StdRng>,
     seed: AtomicU64,
     monitors: Mutex<Option<MonitorSet>>,
+    telemetry: Mutex<Option<ClusterObs>>,
+}
+
+/// The deployment's telemetry plane: one signed
+/// [`TelemetryPublisher`] per broker, engine and TDN, plus a
+/// [`ClusterAggregator`] subscribed to the Obs topic at broker 0 that
+/// authenticates every frame against the deployment's `Obs`
+/// credential.
+///
+/// Cheap to clone (shared internals). Deterministic tests drive it by
+/// hand — [`tick`][ClusterObs::tick] after advancing a `MockClock`
+/// (or [`publish_all`][ClusterObs::publish_all]), then
+/// [`pump`][ClusterObs::pump] to drain delivered frames into the
+/// aggregator. System-clock deployments call
+/// [`start`][ClusterObs::start] once and read the aggregator at will.
+#[derive(Clone)]
+pub struct ClusterObs {
+    inner: std::sync::Arc<ObsInner>,
+}
+
+struct ObsInner {
+    publishers: Vec<TelemetryPublisher>,
+    aggregator: ClusterAggregator,
+    rx: crossbeam::channel::Receiver<nb_wire::Message>,
+    key: RsaPublicKey,
+    started: std::sync::atomic::AtomicBool,
+}
+
+impl ClusterObs {
+    /// Every node's publisher (brokers, then engines, then TDNs).
+    pub fn publishers(&self) -> &[TelemetryPublisher] {
+        &self.inner.publishers
+    }
+
+    /// The mesh-fed cluster aggregator.
+    pub fn aggregator(&self) -> &ClusterAggregator {
+        &self.inner.aggregator
+    }
+
+    /// Public key of the `Obs` credential the publishers sign with.
+    pub fn key(&self) -> RsaPublicKey {
+        self.inner.key.clone()
+    }
+
+    /// Polls every publisher's clock-driven schedule; returns how many
+    /// published.
+    pub fn tick(&self) -> usize {
+        self.inner.publishers.iter().filter(|p| p.tick()).count()
+    }
+
+    /// Forces a frame out of every publisher (ignoring cadence).
+    pub fn publish_all(&self) {
+        for p in &self.inner.publishers {
+            p.publish_now();
+        }
+    }
+
+    /// Drains frames already delivered to the aggregator's
+    /// subscription into the aggregator; returns how many messages
+    /// were consumed. Non-blocking.
+    pub fn pump(&self) -> usize {
+        let mut n = 0;
+        while let Ok(msg) = self.inner.rx.try_recv() {
+            self.inner.aggregator.ingest(&msg);
+            n += 1;
+        }
+        n
+    }
+
+    /// Pumps until the aggregator has accepted at least `min` frames
+    /// or `timeout` elapses (frames from remote brokers cross
+    /// simulated links asynchronously); returns whether the target was
+    /// reached.
+    pub fn pump_until_accepted(&self, min: u64, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            self.pump();
+            let accepted = self
+                .inner
+                .aggregator
+                .metrics_snapshot()
+                .counter("obs.frames.accepted")
+                .unwrap_or(0);
+            if accepted >= min {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Spawns the background plane for system-clock deployments: each
+    /// publisher's pump plus one drain thread feeding the aggregator.
+    /// Idempotent; the drain thread exits when the last `ClusterObs`
+    /// clone is dropped.
+    pub fn start(&self) {
+        if self
+            .inner
+            .started
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            return;
+        }
+        for p in &self.inner.publishers {
+            p.start();
+        }
+        let weak = std::sync::Arc::downgrade(&self.inner);
+        std::thread::Builder::new()
+            .name("obs-aggregate".into())
+            .spawn(move || loop {
+                let Some(inner) = weak.upgrade() else { return };
+                match inner
+                    .rx
+                    .recv_timeout(std::time::Duration::from_millis(100))
+                {
+                    Ok(msg) => {
+                        inner.aggregator.ingest(&msg);
+                        while let Ok(more) = inner.rx.try_recv() {
+                            inner.aggregator.ingest(&more);
+                        }
+                    }
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn obs aggregate thread");
+    }
 }
 
 impl Deployment {
@@ -143,7 +273,78 @@ impl Deployment {
             rng: Mutex::new(rng),
             seed: AtomicU64::new(1),
             monitors: Mutex::new(None),
+            telemetry: Mutex::new(None),
         })
+    }
+
+    /// Stands up the cluster telemetry plane (idempotent — later calls
+    /// return the same handle).
+    ///
+    /// Issues one `Obs` credential, builds a signed
+    /// [`TelemetryPublisher`] for every broker, engine and TDN (TDN
+    /// frames enter the mesh through their index-matched broker), and
+    /// subscribes a [`ClusterAggregator`] to the Obs topic at broker 0
+    /// with signature verification required. Nothing publishes until
+    /// the caller drives the handle ([`ClusterObs::tick`] /
+    /// [`ClusterObs::publish_all`]) or starts the background plane
+    /// ([`ClusterObs::start`]).
+    pub fn telemetry(&self, config: PublisherConfig) -> Result<ClusterObs> {
+        let mut slot = self.telemetry.lock();
+        if let Some(existing) = &*slot {
+            return Ok(existing.clone());
+        }
+        let credential = {
+            let validity = deployment_validity(self.clock.now_ms());
+            let mut rng = self.rng.lock();
+            self.ca.lock().issue("Obs", validity, &mut *rng)?
+        };
+        let key = credential.certificate.public_key.clone();
+
+        let mut publishers = Vec::new();
+        for broker in &self.network.brokers {
+            publishers.push(
+                broker
+                    .telemetry_publisher(config.clone())
+                    .signed(credential.clone()),
+            );
+        }
+        for engine in &self.engines {
+            publishers.push(
+                engine
+                    .telemetry_publisher(config.clone())
+                    .signed(credential.clone()),
+            );
+        }
+        for i in 0..self.tdns.len() {
+            let node = self.tdns.node(i);
+            let carrier = self.network.brokers[i % self.network.brokers.len()].clone();
+            publishers.push(
+                node.telemetry_publisher(
+                    std::sync::Arc::new(move |msg| carrier.publish_internal(msg)),
+                    config.clone(),
+                )
+                .signed(credential.clone()),
+            );
+        }
+
+        let aggregator = ClusterAggregator::new(AggregatorConfig::default());
+        aggregator.require_signatures(key.clone());
+        let home = &self.network.brokers[0];
+        let consumer = format!("obs-aggregator@{}", home.id());
+        let rx = home.register_internal(&consumer);
+        home.subscribe_internal(&consumer, nb_obs::telemetry_topic())?;
+
+        let obs = ClusterObs {
+            inner: std::sync::Arc::new(ObsInner {
+                publishers,
+                aggregator,
+                rx,
+                key,
+                started: std::sync::atomic::AtomicBool::new(false),
+            }),
+        };
+        *slot = Some(obs.clone());
+        Ok(obs)
     }
 
     /// Attaches online runtime-verification monitors to the whole

@@ -1,0 +1,173 @@
+//! Deployment-level telemetry plane: every node publishes, the
+//! aggregator authenticates frames, tampered frames are dropped, and
+//! the health scoreboard follows heartbeat staleness under a mock
+//! clock.
+
+use nb_obs::PublisherConfig;
+use nb_tracing::config::TracingConfig;
+use nb_tracing::harness::{Deployment, Topology};
+use nb_transport::clock::{Clock, MockClock};
+use nb_transport::sim::LinkConfig;
+use nb_wire::Payload;
+use std::sync::Arc;
+use std::time::Duration;
+
+const START: u64 = 1_700_000_000_000;
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn deployment(clock: &MockClock, brokers: usize) -> Deployment {
+    let shared: Arc<dyn Clock> = Arc::new(clock.clone());
+    let mut config = TracingConfig::for_tests();
+    config.auto_tick = false;
+    Deployment::new(
+        Topology::Chain(brokers),
+        LinkConfig::instant(),
+        shared,
+        config,
+    )
+    .unwrap()
+}
+
+fn obs_config() -> PublisherConfig {
+    PublisherConfig {
+        interval_ms: 1_000,
+        full_every: 4,
+    }
+}
+
+#[test]
+fn every_node_publishes_and_the_rollup_spans_all_families() {
+    let clock = MockClock::new(START);
+    let dep = deployment(&clock, 3);
+    let obs = dep.telemetry(obs_config()).unwrap();
+
+    // 3 brokers + 3 engines + 3 TDNs.
+    assert_eq!(obs.publishers().len(), 9);
+
+    // Frames race the subscription gossip on the first round; keep
+    // publishing until all nine nodes are aggregated.
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    loop {
+        obs.publish_all();
+        obs.pump();
+        if obs.aggregator().nodes().len() == 9 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {:?} nodes aggregated",
+            obs.aggregator().nodes()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The cluster rollup carries every node family.
+    let rollup = obs.aggregator().rollup();
+    let names: Vec<&str> = rollup.entries().iter().map(|e| e.name.as_str()).collect();
+    assert!(names.iter().any(|n| n.starts_with("broker.")));
+    assert!(names.iter().any(|n| n.starts_with("tracing.")));
+    assert!(names.iter().any(|n| n.starts_with("tdn.")));
+
+    // Everyone just published: the scoreboard reads all-up.
+    for health in obs.aggregator().health_report(clock.now_ms()) {
+        assert_eq!(health.state.label(), "up", "{} not up", health.node);
+    }
+}
+
+#[test]
+fn ticks_follow_the_mock_clock() {
+    let clock = MockClock::new(START);
+    let dep = deployment(&clock, 1);
+    let obs = dep.telemetry(obs_config()).unwrap();
+
+    assert_eq!(obs.tick(), 0, "nothing due before one interval");
+    clock.advance(1_000);
+    assert_eq!(obs.tick(), 5, "all publishers fire on the same edge");
+    assert_eq!(obs.tick(), 0, "edge-triggered");
+    assert!(obs.pump_until_accepted(5, TIMEOUT));
+}
+
+#[test]
+fn tampered_frames_are_rejected_by_the_aggregator() {
+    let clock = MockClock::new(START);
+    let dep = deployment(&clock, 1);
+
+    // A spy subscription at broker 0 receives copies of the genuine
+    // signed frames — the raw material for the tamper test.
+    let home = dep.network.broker(0).clone();
+    let spy_rx = home.register_internal("spy");
+    home.subscribe_internal("spy", nb_obs::telemetry_topic())
+        .unwrap();
+
+    let obs = dep.telemetry(obs_config()).unwrap();
+    obs.publish_all();
+    assert!(obs.pump_until_accepted(5, TIMEOUT));
+    let accepted_view = obs.aggregator().metrics_snapshot();
+    let rejected_before = accepted_view.counter("obs.frames.rejected").unwrap_or(0);
+
+    let genuine = spy_rx.recv_timeout(TIMEOUT).expect("spy sees frames");
+
+    // Flipping one payload byte breaks the signature: the aggregator
+    // must drop the frame and count the rejection.
+    let mut tampered = genuine.clone();
+    if let Payload::Blob { data } = &mut tampered.payload {
+        data[0] ^= 0xff;
+    } else {
+        panic!("telemetry frames are blobs");
+    }
+    assert!(!obs.aggregator().ingest(&tampered));
+
+    // An unsigned forgery on the right topic fails too, even with a
+    // well-formed frame inside.
+    let forged = nb_wire::Message::new(
+        99,
+        nb_obs::telemetry_topic(),
+        "mallory",
+        clock.now_ms(),
+        genuine.payload.clone(),
+    );
+    assert!(!obs.aggregator().ingest(&forged));
+
+    let after = obs.aggregator().metrics_snapshot();
+    assert_eq!(
+        after.counter("obs.frames.rejected").unwrap_or(0),
+        rejected_before + 2
+    );
+
+    // The genuine copy (already ingested via the plane's own
+    // subscription) left per-node totals intact.
+    assert_eq!(obs.aggregator().nodes().len(), 5);
+}
+
+#[test]
+fn health_scoreboard_tracks_heartbeat_staleness() {
+    let clock = MockClock::new(START);
+    let dep = deployment(&clock, 1);
+    let obs = dep.telemetry(obs_config()).unwrap();
+
+    obs.publish_all();
+    assert!(obs.pump_until_accepted(5, TIMEOUT));
+
+    // Nothing published for 3 intervals: degraded. 6: down.
+    let t = clock.now_ms();
+    assert!(obs
+        .aggregator()
+        .health_report(t + 3_000)
+        .iter()
+        .all(|h| h.state.label() == "degraded"));
+    assert!(obs
+        .aggregator()
+        .health_report(t + 6_000)
+        .iter()
+        .all(|h| h.state.label() == "down"));
+
+    // A fresh round of heartbeats brings every node back up and
+    // counts one flap apiece.
+    clock.advance(6_000);
+    obs.publish_all();
+    assert!(obs.pump_until_accepted(10, TIMEOUT));
+    for health in obs.aggregator().health_report(clock.now_ms()) {
+        assert_eq!(health.state.label(), "up");
+        assert_eq!(health.flaps, 1, "{} should have flapped once", health.node);
+    }
+}

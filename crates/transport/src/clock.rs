@@ -68,6 +68,77 @@ pub fn system_clock() -> SharedClock {
     Arc::new(SystemClock)
 }
 
+/// A clock-driven periodic schedule.
+///
+/// `due()` is edge-triggered against the injected [`Clock`]: it
+/// returns `true` at most once per elapsed interval and is safe to
+/// poll from several threads (first poller wins the tick). Because it
+/// reads the shared clock rather than a thread timer, schedules built
+/// on a [`MockClock`] fire deterministically when tests advance
+/// simulated time — this is what gives the telemetry publish cadence
+/// (`nb-obs`) reproducible sequence numbers under the sim transport.
+pub struct Ticker {
+    clock: SharedClock,
+    interval_ms: u64,
+    next_due: AtomicU64,
+}
+
+impl std::fmt::Debug for Ticker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticker")
+            .field("interval_ms", &self.interval_ms)
+            .field("next_due", &self.next_due)
+            .finish()
+    }
+}
+
+impl Ticker {
+    /// Creates a schedule firing every `interval_ms`, first due one
+    /// full interval from now. `interval_ms` is clamped to ≥ 1.
+    pub fn new(clock: SharedClock, interval_ms: u64) -> Self {
+        let interval_ms = interval_ms.max(1);
+        let next = clock.now_ms() + interval_ms;
+        Ticker {
+            clock,
+            interval_ms,
+            next_due: AtomicU64::new(next),
+        }
+    }
+
+    /// The configured interval in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Milliseconds-since-epoch of the next scheduled firing.
+    pub fn next_due_ms(&self) -> u64 {
+        self.next_due.load(Ordering::SeqCst)
+    }
+
+    /// Returns `true` exactly once per due tick.
+    ///
+    /// If more than one interval elapsed since the last poll the
+    /// schedule re-anchors at `now + interval` (one tick fires, missed
+    /// ones are skipped) — a slow poller degrades to a lower cadence
+    /// instead of bursting.
+    pub fn due(&self) -> bool {
+        let now = self.clock.now_ms();
+        loop {
+            let next = self.next_due.load(Ordering::SeqCst);
+            if now < next {
+                return false;
+            }
+            if self
+                .next_due
+                .compare_exchange(next, now + self.interval_ms, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +169,38 @@ mod tests {
         let c2 = c.clone();
         c.advance(10);
         assert_eq!(c2.now_ms(), 10);
+    }
+
+    #[test]
+    fn ticker_fires_once_per_interval() {
+        let mock = MockClock::new(1000);
+        let t = Ticker::new(Arc::new(mock.clone()), 100);
+        assert!(!t.due());
+        mock.advance(99);
+        assert!(!t.due());
+        mock.advance(1);
+        assert!(t.due());
+        assert!(!t.due(), "edge-triggered: one true per tick");
+        mock.advance(100);
+        assert!(t.due());
+    }
+
+    #[test]
+    fn ticker_skips_missed_intervals() {
+        let mock = MockClock::new(0);
+        let t = Ticker::new(Arc::new(mock.clone()), 10);
+        mock.advance(1000);
+        assert!(t.due());
+        assert!(!t.due(), "missed ticks are skipped, not burst");
+        assert_eq!(t.next_due_ms(), 1010);
+    }
+
+    #[test]
+    fn ticker_zero_interval_is_clamped() {
+        let mock = MockClock::new(0);
+        let t = Ticker::new(Arc::new(mock.clone()), 0);
+        assert_eq!(t.interval_ms(), 1);
+        mock.advance(1);
+        assert!(t.due());
     }
 }

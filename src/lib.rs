@@ -89,12 +89,13 @@
 //! See the crate-level documentation of the member crates for each
 //! subsystem: [`nb_crypto`], [`nb_wire`], [`nb_transport`],
 //! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`],
-//! [`nb_metrics`], [`nb_telemetry`].
+//! [`nb_metrics`], [`nb_telemetry`], [`nb_obs`].
 
 pub use nb_baseline as baseline;
 pub use nb_broker as broker;
 pub use nb_crypto as crypto;
 pub use nb_metrics as metrics;
+pub use nb_obs as obs;
 pub use nb_tdn as tdn;
 pub use nb_telemetry as telemetry;
 pub use nb_tracing as tracing;
@@ -107,10 +108,11 @@ pub mod prelude {
     pub use nb_crypto::cert::{CertificateAuthority, Credential, Validity};
     pub use nb_crypto::Uuid;
     pub use nb_metrics::{Registry, Snapshot};
+    pub use nb_obs::{ClusterAggregator, PublisherConfig, TelemetryPublisher};
     pub use nb_tdn::TdnCluster;
     pub use nb_telemetry::{TelemetryConfig, TraceContext};
     pub use nb_tracing::config::{SigningMode, TracingConfig};
-    pub use nb_tracing::harness::{Deployment, Topology};
+    pub use nb_tracing::harness::{ClusterObs, Deployment, Topology};
     pub use nb_tracing::view::{AvailabilityView, EntityStatus};
     pub use nb_tracing::{TracedEntity, Tracker, TracingEngine};
     pub use nb_transport::clock::{system_clock, Clock, MockClock, SystemClock};
