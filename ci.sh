@@ -72,6 +72,17 @@ if ! $quick; then
     echo "== obs report (quick) =="
     cargo run --release -p nb-bench --bin obs_report -- --quick
     python3 ci/check_bench_json.py obs
+
+    # Durability smoke: measures raw WAL append rate, times restart
+    # recovery against growing log lengths (and after a checkpoint),
+    # and drives the loopback fast path volatile vs durable; asserts
+    # (inside the binary) that replay covers every record, compaction
+    # empties the log, and durability costs < 5% of data-plane
+    # throughput, then writes BENCH_recovery.json; validate the shape
+    # documented in docs/PERFORMANCE.md.
+    echo "== recovery report (quick) =="
+    cargo run --release -p nb-bench --bin recovery_report -- --quick
+    python3 ci/check_bench_json.py recovery
 fi
 
 echo "CI OK"

@@ -3,7 +3,8 @@
 
 Usage: check_bench_json.py <schema>
 
-where <schema> is one of ``throughput``, ``monitor`` or ``obs``. Each
+where <schema> is one of ``throughput``, ``monitor``, ``obs`` or
+``recovery``. Each
 schema names the file the matching bench binary writes, the per-run
 sections it must contain, and the report-level invariants CI holds it
 to (see docs/PERFORMANCE.md and docs/OBSERVABILITY.md). Exits non-zero
@@ -32,6 +33,15 @@ SCHEMAS = {
         "file": "BENCH_obs.json",
         "bench": "obs_report",
         "sections": ("telemetry_off", "telemetry_on"),
+        "extra_run_keys": (),
+    },
+    # The recovery report has its own shape (no per-run route sections):
+    # WAL append rate, a recovery-time-vs-log-length curve, the
+    # checkpointed restart, and the durable-vs-volatile fast path.
+    "recovery": {
+        "file": "BENCH_recovery.json",
+        "bench": "recovery_report",
+        "sections": (),
         "extra_run_keys": (),
     },
 }
@@ -69,6 +79,25 @@ def check(schema_name: str) -> str:
         assert report["prometheus_bytes"] > 0
         assert report["json_bytes"] > 0
         return f"overhead {report['overhead_pct']}%"
+    if schema_name == "recovery":
+        append = report["wal_append"]
+        assert append["records"] > 0 and append["appends_per_sec"] > 0
+        assert append["mb_per_sec"] > 0
+        curve = report["recovery_curve"]
+        assert curve, "recovery curve is empty"
+        for point in curve:
+            assert point["replayed"] == point["log_records"], "replay lost records"
+            assert point["recovery_ms"] >= 0
+            assert point["replay_per_sec"] > 0
+        ckpt = report["checkpointed"]
+        assert ckpt["replayed"] == 0, "checkpoint did not compact the log"
+        assert ckpt["snapshot_seq"] == ckpt["log_records"]
+        steady = report["steady_state"]
+        assert steady["volatile_msgs_per_sec"] > 0
+        assert steady["durable_msgs_per_sec"] > 0
+        assert steady["overhead_pct"] < 5, f"WAL overhead {steady['overhead_pct']}%"
+        assert steady["wal_records"] > 0, "durable broker journalled nothing"
+        return f"overhead {steady['overhead_pct']}%"
     raise AssertionError(f"unhandled schema {schema_name}")
 
 

@@ -36,6 +36,7 @@ pub mod discovery;
 pub mod error;
 pub mod network;
 pub mod node;
+pub mod persist;
 mod route;
 pub mod subscription;
 

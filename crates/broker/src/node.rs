@@ -2,6 +2,7 @@
 //! constrained-topic enforcement, token checks, and DoS containment.
 
 use crate::error::BrokerError;
+use crate::persist::{BrokerDurableState, BrokerOp};
 use crate::route::{ClientDest, NeighborDest, RouteCache, RouteEntry, TopicPolicy};
 use crate::subscription::SubscriptionTable;
 use crate::Result;
@@ -20,9 +21,11 @@ use nb_wire::payload::is_control_tag;
 use nb_wire::view::TopicView;
 use nb_monitor::{DeliveryEvent, MonitorSet, TokenSource, TopicRef};
 use nb_obs::{NodeKind, PublisherConfig, TelemetryPublisher};
+use nb_store::{Durable, DurableState, Recovery, StoreConfig};
 use nb_wire::{Message, MessageView, Payload, Topic};
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -65,6 +68,17 @@ pub struct BrokerConfig {
     /// full decode-parse-match path — useful for A/B measurement and
     /// as an escape hatch.
     pub data_plane_cache: bool,
+    /// Durability: when set, the broker journals its control plane
+    /// (local subscriptions, trace-topic owner keys) to a write-ahead
+    /// log + snapshot under this directory and recovers it on
+    /// construction — a restarted broker re-advertises the recovered
+    /// filters during the neighbour handshake and resumes deliveries
+    /// to re-attaching clients. `None` (the default) keeps the broker
+    /// fully in-memory. See `docs/ARCHITECTURE.md`, "Durability".
+    pub data_dir: Option<PathBuf>,
+    /// Tuning for the durable store (checkpoint interval, fsync
+    /// policy). Only consulted when [`BrokerConfig::data_dir`] is set.
+    pub store: StoreConfig,
 }
 
 impl Default for BrokerConfig {
@@ -78,6 +92,8 @@ impl Default for BrokerConfig {
             telemetry: TelemetryConfig::default(),
             link_supervision: None,
             data_plane_cache: true,
+            data_dir: None,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -250,6 +266,37 @@ struct Inner {
     /// The attached runtime-verification monitor, if any (see
     /// [`Broker::attach_monitor`]).
     monitor: RwLock<Option<MonitorSet>>,
+    /// The durable store (WAL + snapshots) and its replay mirror, when
+    /// [`BrokerConfig::data_dir`] is set. Off the data plane: only
+    /// control-plane mutations take this lock.
+    persist: Mutex<Option<PersistHandle>>,
+    /// What recovery found on construction (`None` without a data
+    /// dir).
+    recovery: Option<Recovery>,
+}
+
+/// The durable store plus the mirror state it checkpoints from.
+///
+/// The mirror duplicates the subscription/owner-key view held in
+/// [`State`] rather than borrowing it: checkpoints then never contend
+/// with the routing lock, at the cost of a second (small,
+/// control-plane-sized) copy.
+struct PersistHandle {
+    durable: Durable<BrokerDurableState>,
+    mirror: BrokerDurableState,
+}
+
+/// Journals one control-plane op (no-op without a data dir).
+/// Write-ahead: the op is appended before the mirror applies it, and a
+/// checkpoint fires once enough ops accumulate.
+fn journal(inner: &Inner, op: BrokerOp) {
+    let mut guard = inner.persist.lock();
+    if let Some(p) = guard.as_mut() {
+        if p.durable.record(&op).is_ok() {
+            p.mirror.apply(op);
+            let _ = p.durable.maybe_checkpoint(&p.mirror);
+        }
+    }
 }
 
 /// Where a message entered this broker.
@@ -273,6 +320,35 @@ impl Broker {
         let recorder = FlightRecorder::new(id.clone(), config.telemetry.capacity);
         let metrics = BrokerMetrics::new();
         let routes = RouteCache::new(&metrics.registry);
+
+        // Crash recovery: reopen the durable store (if configured) and
+        // re-install the recovered control plane *before* any link
+        // exists — the neighbour handshake then re-advertises the
+        // recovered filters, and re-attaching clients resume
+        // deliveries without re-subscribing.
+        let mut subs = SubscriptionTable::new();
+        let mut owner_keys = HashMap::new();
+        let mut persist = None;
+        let mut recovery = None;
+        if let Some(dir) = &config.data_dir {
+            match Durable::<BrokerDurableState>::open(dir, "broker", config.store.clone()) {
+                Ok((durable, mirror, rec)) => {
+                    for ((consumer, filter), suppressed) in &mirror.subs {
+                        subs.add_local(consumer, filter.clone(), *suppressed);
+                    }
+                    for (topic, key) in &mirror.owner_keys {
+                        owner_keys.insert(*topic, key.clone());
+                    }
+                    persist = Some(PersistHandle { durable, mirror });
+                    recovery = Some(rec);
+                }
+                Err(_) => {
+                    // An unusable data dir degrades to in-memory
+                    // operation rather than refusing to start.
+                }
+            }
+        }
+
         let broker = Broker {
             inner: Arc::new(Inner {
                 id,
@@ -281,9 +357,9 @@ impl Broker {
                 state: Mutex::new(State {
                     clients: HashMap::new(),
                     neighbors: HashMap::new(),
-                    subs: SubscriptionTable::new(),
+                    subs,
                     internal: HashMap::new(),
-                    owner_keys: HashMap::new(),
+                    owner_keys,
                     hello_replied_ms: HashMap::new(),
                 }),
                 neighbor_cv: Condvar::new(),
@@ -296,6 +372,8 @@ impl Broker {
                 link_cv: Condvar::new(),
                 monitor_on: AtomicBool::new(false),
                 monitor: RwLock::new(None),
+                persist: Mutex::new(persist),
+                recovery,
             }),
         };
         if let Some(interval) = broker.inner.config.advert_refresh {
@@ -315,6 +393,20 @@ impl Broker {
     /// This broker's identifier.
     pub fn id(&self) -> &str {
         &self.inner.id
+    }
+
+    /// Crash-test support: detaches the durable store *instantly*, as
+    /// an abrupt process death would. Everything journalled so far
+    /// stays on disk, but nothing after this call reaches the log — in
+    /// particular the `ConsumerGone` cleanup that worker threads run
+    /// when their links die during teardown. A broker reopened over
+    /// the same data dir therefore recovers its clients' subscriptions
+    /// exactly as it would after a real kill, and re-attaching clients
+    /// resume deliveries without re-subscribing.
+    ///
+    /// No-op for brokers without a data dir.
+    pub fn simulate_crash(&self) {
+        *self.inner.persist.lock() = None;
     }
 
     /// Counters snapshot.
@@ -447,6 +539,13 @@ impl Broker {
             state.owner_keys.insert(trace_topic, key.clone());
             self.inner.routes.bump();
         }
+        journal(
+            &self.inner,
+            BrokerOp::OwnerKey {
+                topic: trace_topic,
+                key: key.clone(),
+            },
+        );
         // Keep an attached monitor's owner-key registry in sync so it
         // can fully verify tokens for this topic too.
         if self.inner.monitor_on.load(Ordering::Acquire) {
@@ -513,7 +612,20 @@ impl Broker {
     /// buffers through outages and the supervisor's state transitions
     /// feed the `broker.link.*` metrics and (when telemetry is on) the
     /// flight recorder as `link_down`/`link_up` spans.
-    fn supervise_link(&self, endpoint: Endpoint, connector: Option<Box<dyn Connector>>) -> Endpoint {
+    ///
+    /// With `neighbor_resync` set (neighbour links only), every
+    /// completed repair cycle also replays the neighbour handshake —
+    /// hello plus all advertisable filters — through the repaired
+    /// link. Transport repair cannot tell a healed wire from a
+    /// restarted peer; if the peer process restarted, its subscription
+    /// table is gone (or freshly recovered) and only a re-run of the
+    /// session sync restores routing toward us.
+    fn supervise_link(
+        &self,
+        endpoint: Endpoint,
+        connector: Option<Box<dyn Connector>>,
+        neighbor_resync: bool,
+    ) -> Endpoint {
         let Some(base) = &self.inner.config.link_supervision else {
             return endpoint;
         };
@@ -539,14 +651,27 @@ impl Broker {
                 inner.recorder.record(SpanEvent::new(&ctx, stage, t, t));
             }
         });
-        let cfg = base
+        let mut cfg = base
             .clone()
             .with_seed(base.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .with_observer(observer);
+        // The hook needs the facade's sender, which doesn't exist yet
+        // when the config is built — hand it a slot filled in below.
+        let sender_slot: Arc<Mutex<Option<Arc<dyn FrameSender>>>> = Arc::new(Mutex::new(None));
+        if neighbor_resync {
+            let slot = Arc::clone(&sender_slot);
+            let weak = Arc::downgrade(&self.inner);
+            cfg = cfg.with_reconnect_hook(Arc::new(move |_reconnects| {
+                let Some(inner) = weak.upgrade() else { return };
+                let Some(sender) = slot.lock().clone() else { return };
+                resync_neighbor_session(&inner, sender.as_ref());
+            }));
+        }
         let (facade, supervisor) = match connector {
             Some(c) => LinkSupervisor::supervise_with_connector(endpoint, c, cfg),
             None => LinkSupervisor::supervise(endpoint, cfg),
         };
+        *sender_slot.lock() = Some(facade.sender());
         self.inner.supervisors.lock().push(supervisor);
         facade
     }
@@ -566,7 +691,7 @@ impl Broker {
     /// `Attach` payload carrying the client id. Spawns the worker
     /// thread and returns immediately.
     pub fn attach_client(&self, endpoint: Endpoint) {
-        let endpoint = self.supervise_link(endpoint, None);
+        let endpoint = self.supervise_link(endpoint, None, false);
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("{}-client-worker", inner.id))
@@ -577,7 +702,7 @@ impl Broker {
     /// Connects a neighbouring broker over `endpoint`. Both sides call
     /// this on their half of the link. Spawns the worker thread.
     pub fn connect_neighbor(&self, endpoint: Endpoint) {
-        let endpoint = self.supervise_link(endpoint, None);
+        let endpoint = self.supervise_link(endpoint, None, true);
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("{}-neighbor-worker", inner.id))
@@ -596,7 +721,7 @@ impl Broker {
             self.inner.config.link_supervision.is_some(),
             "connect_neighbor_with_reconnect requires BrokerConfig::link_supervision"
         );
-        let endpoint = self.supervise_link(endpoint, Some(connector));
+        let endpoint = self.supervise_link(endpoint, Some(connector), true);
         let inner = Arc::clone(&self.inner);
         std::thread::Builder::new()
             .name(format!("{}-neighbor-worker", inner.id))
@@ -636,6 +761,13 @@ impl Broker {
     /// Removes an internal subscription (propagating withdrawal when
     /// no local interest remains).
     pub fn unsubscribe_internal(&self, consumer: &str, filter: &Topic) {
+        journal(
+            &self.inner,
+            BrokerOp::SubRemove {
+                consumer: consumer.to_string(),
+                filter: filter.clone(),
+            },
+        );
         let (orphaned, neighbors) = {
             let mut state = self.inner.state.lock();
             let orphaned = state.subs.remove_local(consumer, filter);
@@ -671,6 +803,16 @@ impl Broker {
             };
             (fresh, neighbors)
         };
+        if fresh {
+            journal(
+                &self.inner,
+                BrokerOp::SubAdd {
+                    consumer: consumer.to_string(),
+                    filter: filter.clone(),
+                    suppressed: suppress_advert,
+                },
+            );
+        }
         self.inner.subs_cv.notify_all();
         if fresh {
             let msg = self.control_message(Payload::NeighborSubscribe { filter });
@@ -717,6 +859,25 @@ impl Broker {
             self.inner.clock.now_ms(),
             payload,
         )
+    }
+
+    /// What crash recovery found when this broker (re)opened its
+    /// durable store: snapshot loaded, ops replayed, repairs made.
+    /// `None` when [`BrokerConfig::data_dir`] is unset (or the store
+    /// failed to open and the broker degraded to in-memory operation).
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.inner.recovery.clone()
+    }
+
+    /// Forces a durable-store checkpoint (snapshot + log compaction)
+    /// now, regardless of the configured interval. Returns whether a
+    /// store is attached and the checkpoint succeeded.
+    pub fn checkpoint_now(&self) -> bool {
+        let mut guard = self.inner.persist.lock();
+        match guard.as_mut() {
+            Some(p) => p.durable.checkpoint(&p.mirror).is_ok(),
+            None => false,
+        }
     }
 
     /// Number of directly attached clients.
@@ -1223,6 +1384,15 @@ fn punish(inner: &Inner, client_id: &str) {
             state.clients.remove(client_id);
             state.subs.remove_consumer(client_id);
             inner.routes.bump();
+            drop(state);
+            // Termination is deliberate, so it must survive a restart:
+            // a punished client that re-attaches starts with nothing.
+            journal(
+                inner,
+                BrokerOp::ConsumerGone {
+                    consumer: client_id.to_string(),
+                },
+            );
         }
     }
 }
@@ -1268,11 +1438,21 @@ fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
 
     loop {
         let Ok(mut frame) = endpoint.recv() else {
-            // Link dropped: clean up.
+            // Link dropped: clean up. Journalled too — the mirror
+            // tracks the live table exactly; only a *broker* crash
+            // (which journals nothing) preserves client subscriptions
+            // for post-restart re-attachment.
             let mut state = inner.state.lock();
             state.clients.remove(&client_id);
             state.subs.remove_consumer(&client_id);
             inner.routes.bump();
+            drop(state);
+            journal(
+                inner,
+                BrokerOp::ConsumerGone {
+                    consumer: client_id.clone(),
+                },
+            );
             return;
         };
         // Lock-free termination check: punish() flips the shared flag.
@@ -1300,6 +1480,13 @@ fn client_worker(inner: Arc<Inner>, endpoint: Endpoint) {
                 state.subs.remove_local(&client_id, filter);
                 inner.routes.bump();
                 drop(state);
+                journal(
+                    inner,
+                    BrokerOp::SubRemove {
+                        consumer: client_id.clone(),
+                        filter: filter.clone(),
+                    },
+                );
                 let ack = Message::new(
                     0,
                     msg.topic.clone(),
@@ -1376,6 +1563,45 @@ fn handle_client_subscribe(
     )
     .correlated(msg.id);
     let _ = endpoint.send(&ack.to_bytes());
+}
+
+/// Replays the neighbour session over a freshly repaired link: hello
+/// plus every advertisable filter. Run by the link supervisor's
+/// reconnect hook — a restarted peer has lost (or just recovered) its
+/// view of our interest, and the transport repair alone restores bytes,
+/// not sessions. The peer side is idempotent: re-received hellos are
+/// rate-limit answered, re-received adverts are deduplicated by its
+/// subscription table.
+fn resync_neighbor_session(inner: &Inner, sender: &dyn FrameSender) {
+    let control = Topic::parse("/Constrained/RealTime/Broker/PublishSubscribe/Control").unwrap();
+    let hello = Message::new(
+        0,
+        control.clone(),
+        inner.id.clone(),
+        inner.clock.now_ms(),
+        Payload::NeighborHello {
+            broker_id: inner.id.clone(),
+        },
+    );
+    if sender.send_frame(&hello.to_bytes()).is_err() {
+        return;
+    }
+    let filters: Vec<Topic> = {
+        let state = inner.state.lock();
+        state.subs.advertisable_filters().into_iter().collect()
+    };
+    for filter in filters {
+        let adv = Message::new(
+            0,
+            control.clone(),
+            inner.id.clone(),
+            inner.clock.now_ms(),
+            Payload::NeighborSubscribe { filter },
+        );
+        if sender.send_frame(&adv.to_bytes()).is_err() {
+            return;
+        }
+    }
 }
 
 fn neighbor_worker(inner: Arc<Inner>, endpoint: Endpoint) {

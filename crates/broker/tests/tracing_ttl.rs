@@ -46,6 +46,13 @@ fn hop_ttl_drops_messages_beyond_max_hops() {
     assert!(net
         .broker(0)
         .wait_for_remote_subscription(&t("/Ttl/Topic"), TIMEOUT));
+    // Broker 0's wait above can be satisfied by `near` (broker 1's
+    // local subscriber) alone; the frame only travels the second hop
+    // once broker 1 has also learned `far`'s subscription from broker
+    // 2 — wait for that too or the publish races the propagation.
+    assert!(net
+        .broker(1)
+        .wait_for_remote_subscription(&t("/Ttl/Topic"), TIMEOUT));
 
     // The TTL applies to any message carrying a context, sampled or not.
     let ctx = TraceContext::root(0, false);

@@ -1,0 +1,29 @@
+//! Process-wide durability aggregates on the global metrics registry.
+//!
+//! One process may host many stores (a broker, several trackers, a
+//! TDN); the counters here aggregate across all of them so a single
+//! dump shows total durability activity. Names are catalogued in
+//! `docs/OBSERVABILITY.md` under the `store.*` family.
+
+use std::sync::LazyLock;
+
+use nb_metrics::Counter;
+
+macro_rules! store_counter {
+    ($static_name:ident, $metric:literal) => {
+        pub(crate) static $static_name: LazyLock<Counter> =
+            LazyLock::new(|| nb_metrics::global().counter($metric));
+    };
+}
+
+store_counter!(WAL_APPENDS, "store.wal.appends");
+store_counter!(WAL_BYTES, "store.wal.bytes");
+store_counter!(WAL_REPLAYED, "store.wal.records.replayed");
+store_counter!(WAL_TORN_BYTES, "store.wal.torn.bytes");
+store_counter!(WAL_QUARANTINED_BYTES, "store.wal.quarantined.bytes");
+store_counter!(SNAPSHOTS_WRITTEN, "store.snapshots.written");
+store_counter!(SNAPSHOTS_LOADED, "store.snapshots.loaded");
+store_counter!(SNAPSHOTS_QUARANTINED, "store.snapshots.quarantined");
+store_counter!(OPS_RECORDED, "store.ops.recorded");
+store_counter!(OPS_DECODE_FAILED, "store.ops.decode_failed");
+store_counter!(RECOVERIES, "store.recoveries");

@@ -1,0 +1,198 @@
+//! Point-in-time snapshots with atomic replacement.
+//!
+//! ## File format
+//!
+//! ```text
+//! ┌───────────────┬──────────────┬────────────────┬─────────────┬─────────────┬─────────┐
+//! │ magic: u32 BE │ ver: u16 BE  │ wal_seq: u64 BE│ len: u32 BE │ crc: u32 BE │ payload │
+//! └───────────────┴──────────────┴────────────────┴─────────────┴─────────────┴─────────┘
+//! ```
+//!
+//! `wal_seq` is the cumulative op count the snapshot covers — the
+//! journal position at which replay resumes. The payload (the encoded
+//! state, produced by
+//! [`DurableState::snapshot_encode`](crate::durable::DurableState))
+//! carries its own CRC so on-disk rot is detected, exactly as in the
+//! log.
+//!
+//! ## Atomicity
+//!
+//! [`write()`] streams to `<path>.tmp` and then renames over the real
+//! file: a crash mid-snapshot leaves the *previous* snapshot intact,
+//! and the log — which is only compacted after the rename — still
+//! covers everything since it. There is no window in which state
+//! exists only in memory.
+
+use crate::wal::crc32;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Snapshot file magic (`"NBSS"`).
+pub const MAGIC: u32 = 0x4E42_5353;
+
+/// Current snapshot format version.
+pub const VERSION: u16 = 1;
+
+/// Fixed header bytes before the payload.
+const HEADER_LEN: usize = 4 + 2 + 8 + 4 + 4;
+
+/// A successfully loaded snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loaded {
+    /// Cumulative op count the snapshot covers.
+    pub wal_seq: u64,
+    /// The encoded state.
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of [`read`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// No snapshot file exists (first boot, or never checkpointed).
+    Missing,
+    /// A well-formed snapshot was loaded.
+    Ok(Loaded),
+    /// The file exists but fails validation; it has been moved to a
+    /// `.quarantine` sidecar so recovery can start from a blank state
+    /// without destroying the evidence.
+    Quarantined {
+        /// Why validation failed.
+        reason: &'static str,
+    },
+}
+
+/// Atomically replaces the snapshot at `path` (via `<path>.tmp` +
+/// rename).
+pub fn write(path: &Path, wal_seq: u64, payload: &[u8], fsync: bool) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&wal_seq.to_be_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&crc32(payload).to_be_bytes());
+    buf.extend_from_slice(payload);
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&buf)?;
+        if fsync {
+            f.sync_data()?;
+        }
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Parses an in-memory snapshot image. Pure — driven directly by the
+/// property tests.
+pub fn parse(bytes: &[u8]) -> Result<Loaded, &'static str> {
+    if bytes.len() < HEADER_LEN {
+        return Err("truncated header");
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err("bad magic");
+    }
+    let version = u16::from_be_bytes(bytes[4..6].try_into().unwrap());
+    if version != VERSION {
+        return Err("unknown version");
+    }
+    let wal_seq = u64::from_be_bytes(bytes[6..14].try_into().unwrap());
+    let len = u32::from_be_bytes(bytes[14..18].try_into().unwrap()) as usize;
+    let crc = u32::from_be_bytes(bytes[18..22].try_into().unwrap());
+    let body = &bytes[HEADER_LEN..];
+    if body.len() != len {
+        return Err("payload length mismatch");
+    }
+    if crc32(body) != crc {
+        return Err("crc mismatch");
+    }
+    Ok(Loaded {
+        wal_seq,
+        payload: body.to_vec(),
+    })
+}
+
+/// Reads and validates the snapshot at `path`. A malformed file is
+/// moved aside to `<path>.quarantine` rather than deleted.
+pub fn read(path: &Path) -> std::io::Result<ReadOutcome> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ReadOutcome::Missing),
+        Err(e) => return Err(e),
+    };
+    match parse(&bytes) {
+        Ok(loaded) => Ok(ReadOutcome::Ok(loaded)),
+        Err(reason) => {
+            let mut sidecar = path.as_os_str().to_owned();
+            sidecar.push(".quarantine");
+            std::fs::rename(path, std::path::PathBuf::from(sidecar))?;
+            Ok(ReadOutcome::Quarantined { reason })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    #[test]
+    fn write_read_round_trips() {
+        let dir = TempDir::new("snap").unwrap();
+        let path = dir.path().join("s.snap");
+        write(&path, 42, b"state-bytes", false).unwrap();
+        match read(&path).unwrap() {
+            ReadOutcome::Ok(loaded) => {
+                assert_eq!(loaded.wal_seq, 42);
+                assert_eq!(loaded.payload, b"state-bytes");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_reports_missing() {
+        let dir = TempDir::new("snap").unwrap();
+        assert_eq!(
+            read(&dir.path().join("absent.snap")).unwrap(),
+            ReadOutcome::Missing
+        );
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let dir = TempDir::new("snap").unwrap();
+        let path = dir.path().join("s.snap");
+        write(&path, 1, b"old", false).unwrap();
+        write(&path, 2, b"new", false).unwrap();
+        match read(&path).unwrap() {
+            ReadOutcome::Ok(loaded) => {
+                assert_eq!(loaded.wal_seq, 2);
+                assert_eq!(loaded.payload, b"new");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!path.with_extension("snap.tmp").exists());
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined() {
+        let dir = TempDir::new("snap").unwrap();
+        let path = dir.path().join("s.snap");
+        write(&path, 7, b"payload", false).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        match read(&path).unwrap() {
+            ReadOutcome::Quarantined { reason } => assert_eq!(reason, "crc mismatch"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(!path.exists());
+        assert!(path.with_extension("snap.quarantine").exists());
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod cluster;
 pub mod node;
+pub mod persist;
 pub mod query;
 
 pub use cluster::TdnCluster;

@@ -1,5 +1,6 @@
 //! A single Topic Discovery Node.
 
+use crate::persist::{TdnDurableState, TdnOp};
 use crate::query::matches_descriptor;
 use crate::Result;
 use nb_crypto::cert::{Certificate, Credential};
@@ -7,6 +8,7 @@ use nb_crypto::digest::DigestAlgorithm;
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::{CryptoError, Uuid};
 use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
+use nb_store::{Durable, DurableState, Recovery, StoreConfig};
 use nb_telemetry::{fresh_span_id, now_ns, FlightRecorder, SpanEvent, Stage, TraceContext};
 use nb_obs::{NodeKind, ObsSink, PublisherConfig, TelemetryPublisher};
 use nb_transport::clock::SharedClock;
@@ -16,6 +18,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 /// TDN errors.
@@ -45,6 +48,30 @@ struct Store {
     adverts: HashMap<Uuid, TopicAdvertisement>,
     /// Public keys of peer TDNs (for verifying replicas).
     peer_keys: HashMap<String, RsaPublicKey>,
+    /// Journal + mirror, when durability is enabled.
+    persist: Option<PersistHandle>,
+    /// What recovery found when storage was attached.
+    recovery: Option<Recovery>,
+}
+
+/// The journal plus a mirror of the durable registry. The mirror is
+/// what gets snapshotted; it stays in lock-step with `Store::adverts`
+/// because every mutation runs [`Store::journal`] under the same lock.
+struct PersistHandle {
+    durable: Durable<TdnDurableState>,
+    mirror: TdnDurableState,
+}
+
+impl Store {
+    /// Journals one registry op (no-op when durability is off).
+    fn journal(&mut self, op: TdnOp) {
+        if let Some(p) = self.persist.as_mut() {
+            if p.durable.record(&op).is_ok() {
+                p.mirror.apply(op);
+                let _ = p.durable.maybe_checkpoint(&p.mirror);
+            }
+        }
+    }
 }
 
 /// Cached handles on a TDN's per-instance registry (`tdn.*` metric
@@ -118,6 +145,8 @@ impl Tdn {
             store: Mutex::new(Store {
                 adverts: HashMap::new(),
                 peer_keys: HashMap::new(),
+                persist: None,
+                recovery: None,
             }),
             metrics: TdnMetrics::new(),
             recorder,
@@ -147,6 +176,54 @@ impl Tdn {
     /// The public key trackers use to verify this TDN's signatures.
     pub fn public_key(&self) -> RsaPublicKey {
         self.credential.certificate.public_key.clone()
+    }
+
+    /// Attaches durable storage under `dir` and recovers any registry
+    /// a previous incarnation journalled there: recovered
+    /// advertisements are installed (they carry their original TDN
+    /// signatures, so provenance survives the restart) and the
+    /// replication epoch resumes where it left off.
+    ///
+    /// Call before the node starts serving; mutations from then on are
+    /// journalled to `dir/tdn.{wal,snap}`.
+    pub fn persist_to(&self, dir: impl AsRef<Path>, cfg: StoreConfig) -> nb_store::Result<Recovery> {
+        let (durable, state, recovery) =
+            Durable::<TdnDurableState>::open(dir.as_ref(), "tdn", cfg)?;
+        let mut store = self.store.lock();
+        for (id, advert) in &state.adverts {
+            store.adverts.insert(*id, advert.clone());
+        }
+        store.persist = Some(PersistHandle {
+            durable,
+            mirror: state,
+        });
+        store.recovery = Some(recovery.clone());
+        Ok(recovery)
+    }
+
+    /// What recovery found when storage was attached, if it was.
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.store.lock().recovery.clone()
+    }
+
+    /// The replication epoch: total advertisements this member has
+    /// ever installed (survives restarts; `0` without storage).
+    pub fn replication_epoch(&self) -> u64 {
+        self.store
+            .lock()
+            .persist
+            .as_ref()
+            .map_or(0, |p| p.mirror.epoch)
+    }
+
+    /// Forces a snapshot checkpoint now (durable nodes only). Returns
+    /// whether a snapshot was written.
+    pub fn checkpoint_now(&self) -> bool {
+        let mut store = self.store.lock();
+        let Some(p) = store.persist.as_mut() else {
+            return false;
+        };
+        p.durable.checkpoint(&p.mirror).is_ok()
     }
 
     /// Introduces a peer TDN (enables replica verification).
@@ -188,10 +265,11 @@ impl Tdn {
             .private_key
             .sign(DigestAlgorithm::Sha256, &advert.tbs_bytes())
             .map_err(TdnError::BadCredentials)?;
-        self.store
-            .lock()
-            .adverts
-            .insert(advert.topic_id, advert.clone());
+        {
+            let mut store = self.store.lock();
+            store.adverts.insert(advert.topic_id, advert.clone());
+            store.journal(TdnOp::AdvertPut(Box::new(advert.clone())));
+        }
         self.metrics.topics_created.inc();
         self.record_op(Stage::TdnCreate, t0);
         Ok(advert)
@@ -220,7 +298,11 @@ impl Tdn {
         self.metrics
             .replication_lag_ms
             .record(self.clock.now_ms().saturating_sub(advert.created_ms));
-        self.store.lock().adverts.insert(advert.topic_id, advert);
+        {
+            let mut store = self.store.lock();
+            store.adverts.insert(advert.topic_id, advert.clone());
+            store.journal(TdnOp::AdvertPut(Box::new(advert)));
+        }
         self.metrics.replicas_accepted.inc();
         self.record_op(Stage::TdnReplicate, t0);
         Ok(())
@@ -267,7 +349,11 @@ impl Tdn {
         let mut store = self.store.lock();
         let before = store.adverts.len();
         store.adverts.retain(|_, a| !a.is_expired(now));
-        before - store.adverts.len()
+        let purged = before - store.adverts.len();
+        if purged > 0 {
+            store.journal(TdnOp::Purge { now_ms: now });
+        }
+        purged
     }
 
     /// All stored advertisements (used by cluster resync).

@@ -1,0 +1,113 @@
+//! Durable TDN state: the journalled registry ops and snapshot codec
+//! for [`nb_store::Durable`].
+//!
+//! A TDN's registry is the cluster's source of truth for topic
+//! provenance: the signed advertisements themselves. Losing it on
+//! restart would orphan every live trace topic whose owner is not
+//! around to re-create it, so each accepted mutation — a creation, an
+//! accepted replica, an expiry purge — is journalled.
+//!
+//! The state also carries a **replication epoch**: a counter bumped on
+//! every advertisement installed. After a restart the epoch tells
+//! peers (and tests) how much registry history this member has folded
+//! in, so a recovered node can be compared against its peers before it
+//! serves discovery again.
+
+use nb_crypto::Uuid;
+use nb_store::DurableState;
+use nb_wire::codec::{Decode, Encode, Reader, Writer};
+use nb_wire::payload::TopicAdvertisement;
+use nb_wire::WireError;
+use std::collections::BTreeMap;
+
+/// One journalled registry mutation.
+#[derive(Debug, Clone)]
+pub enum TdnOp {
+    /// An advertisement entered the registry (local creation or an
+    /// accepted, signature-verified replica).
+    AdvertPut(Box<TopicAdvertisement>),
+    /// An expiry sweep ran at `now_ms`; replay re-evaluates the same
+    /// deterministic `is_expired(now_ms)` predicate.
+    Purge {
+        /// Clock reading the sweep used.
+        now_ms: u64,
+    },
+}
+
+impl Encode for TdnOp {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            TdnOp::AdvertPut(advert) => {
+                w.put_u8(1);
+                advert.encode(w);
+            }
+            TdnOp::Purge { now_ms } => {
+                w.put_u8(2);
+                w.put_u64(*now_ms);
+            }
+        }
+    }
+}
+
+impl Decode for TdnOp {
+    fn decode(r: &mut Reader<'_>) -> nb_wire::Result<Self> {
+        match r.get_u8()? {
+            1 => Ok(TdnOp::AdvertPut(Box::new(TopicAdvertisement::decode(r)?))),
+            2 => Ok(TdnOp::Purge {
+                now_ms: r.get_u64()?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                what: "tdn op",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The TDN's durable registry (the replay target).
+///
+/// Deterministic (`BTreeMap` keyed by topic id) so identical histories
+/// produce byte-identical snapshots.
+#[derive(Debug, Default)]
+pub struct TdnDurableState {
+    /// Topic id → signed advertisement.
+    pub adverts: BTreeMap<Uuid, TopicAdvertisement>,
+    /// Replication epoch: total advertisements ever installed (not
+    /// decremented by purges).
+    pub epoch: u64,
+}
+
+impl DurableState for TdnDurableState {
+    type Op = TdnOp;
+
+    fn apply(&mut self, op: TdnOp) {
+        match op {
+            TdnOp::AdvertPut(advert) => {
+                self.adverts.insert(advert.topic_id, *advert);
+                self.epoch += 1;
+            }
+            TdnOp::Purge { now_ms } => {
+                self.adverts.retain(|_, a| !a.is_expired(now_ms));
+            }
+        }
+    }
+
+    fn snapshot_encode(&self, w: &mut Writer) {
+        w.put_varint(self.adverts.len() as u64);
+        for advert in self.adverts.values() {
+            advert.encode(w);
+        }
+        w.put_u64(self.epoch);
+    }
+
+    fn snapshot_decode(r: &mut Reader<'_>) -> nb_wire::Result<Self> {
+        let mut state = TdnDurableState::default();
+        let n = r.get_varint()?;
+        for _ in 0..n {
+            let advert = TopicAdvertisement::decode(r)?;
+            state.adverts.insert(advert.topic_id, advert);
+        }
+        state.epoch = r.get_u64()?;
+        Ok(state)
+    }
+}

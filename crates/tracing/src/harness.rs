@@ -489,6 +489,21 @@ impl Deployment {
         entity_id: &str,
         interests: Vec<TraceCategory>,
     ) -> Result<Tracker> {
+        self.tracker_with_dir(idx, tracker_id, entity_id, interests, None)
+    }
+
+    /// Like [`Deployment::tracker`] but durable: with `data_dir` set
+    /// the tracker journals applied traces there and recovers its
+    /// availability view when restarted over the same directory
+    /// (kill-and-restart recovery tests).
+    pub fn tracker_with_dir(
+        &self,
+        idx: usize,
+        tracker_id: &str,
+        entity_id: &str,
+        interests: Vec<TraceCategory>,
+        data_dir: Option<std::path::PathBuf>,
+    ) -> Result<Tracker> {
         let credential = self.issue(&format!("tracker:{tracker_id}"))?;
         let client = self.network.attach_client(idx, tracker_id)?;
         Tracker::start(
@@ -501,6 +516,8 @@ impl Deployment {
                 credential,
                 interests,
                 config: self.config.clone(),
+                data_dir,
+                store: nb_store::StoreConfig::default(),
             },
         )
     }

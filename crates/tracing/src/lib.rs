@@ -28,6 +28,7 @@ pub mod error;
 pub mod failure;
 pub mod harness;
 pub mod interest;
+pub mod persist;
 pub mod tracker;
 pub mod view;
 

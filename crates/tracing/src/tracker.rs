@@ -9,6 +9,7 @@
 use crate::channels;
 use crate::config::TracingConfig;
 use crate::error::TracingError;
+use crate::persist::TrackerDurableState;
 use crate::view::AvailabilityView;
 use crate::Result;
 use nb_broker::BrokerClient;
@@ -17,6 +18,7 @@ use nb_crypto::modes::{cbc_decrypt, ctr_transform, CipherMode};
 use nb_crypto::rsa::RsaPublicKey;
 use nb_crypto::Uuid;
 use nb_metrics::{Counter, Registry, Snapshot};
+use nb_store::{Durable, Recovery, StoreConfig};
 use nb_tdn::TdnCluster;
 use nb_telemetry::{now_ns, FlightRecorder, SpanEvent, Stage, TraceContext};
 use nb_transport::clock::SharedClock;
@@ -26,6 +28,7 @@ use nb_wire::token::Rights;
 use nb_wire::trace::{topics, TraceCategory, TraceEvent};
 use nb_wire::{Message, Payload};
 use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,6 +45,13 @@ pub struct TrackerOptions {
     pub interests: Vec<TraceCategory>,
     /// Scheme configuration (token skew).
     pub config: TracingConfig,
+    /// Durability root. `Some(dir)` journals applied traces to
+    /// `dir/tracker.{wal,snap}` and recovers the availability view on
+    /// restart; `None` keeps the view purely in memory.
+    pub data_dir: Option<PathBuf>,
+    /// Store tuning (checkpoint cadence, fsync policy) when
+    /// `data_dir` is set.
+    pub store: StoreConfig,
 }
 
 /// Cached handles on a tracker's per-instance registry (`tracker.*`
@@ -79,6 +89,10 @@ struct TrackerInner {
     interests: Vec<TraceCategory>,
     trace_key: Mutex<Option<(Vec<u8>, CipherMode)>>,
     view: AvailabilityView,
+    /// Journal for applied traces, when durability is enabled.
+    persist: Mutex<Option<Durable<TrackerDurableState>>>,
+    /// What recovery found on start-up (durable trackers only).
+    recovery: Option<Recovery>,
     metrics: TrackerMetrics,
     /// Per-tracker causal-tracing span ring (apply/reject spans).
     recorder: FlightRecorder,
@@ -117,6 +131,26 @@ impl Tracker {
         client.subscribe(topics::gauge_interest(&trace_topic), timeout)?;
         client.subscribe(channels::key_delivery(&opts.tracker_id), timeout)?;
 
+        // Durability: recover the availability view journalled by a
+        // previous incarnation before any trace flows, so the restart
+        // resumes from the last applied sequence instead of a blank
+        // map (stale re-deliveries stay rejected, nothing re-counts).
+        let (view, persist, recovery) = match &opts.data_dir {
+            Some(dir) => match Durable::<TrackerDurableState>::open(
+                dir,
+                "tracker",
+                opts.store.clone(),
+            ) {
+                Ok((durable, state, rec)) => {
+                    (state.view, Some(durable), Some(rec))
+                }
+                // Storage trouble degrades to in-memory operation —
+                // tracking beats crashing on a bad disk.
+                Err(_) => (AvailabilityView::new(), None, None),
+            },
+            None => (AvailabilityView::new(), None, None),
+        };
+
         let recorder =
             FlightRecorder::new(opts.tracker_id.clone(), opts.config.telemetry.capacity);
         let inner = Arc::new(TrackerInner {
@@ -130,7 +164,9 @@ impl Tracker {
             owner_key,
             interests: opts.interests,
             trace_key: Mutex::new(None),
-            view: AvailabilityView::new(),
+            view,
+            persist: Mutex::new(persist),
+            recovery,
             metrics: TrackerMetrics::new(),
             recorder,
             stop: AtomicBool::new(false),
@@ -189,6 +225,25 @@ impl Tracker {
     /// Whether the sealed trace key has arrived (secured tracing).
     pub fn has_trace_key(&self) -> bool {
         self.inner.trace_key.lock().is_some()
+    }
+
+    /// What recovery found on start-up, when this tracker is durable.
+    pub fn recovery(&self) -> Option<Recovery> {
+        self.inner.recovery.clone()
+    }
+
+    /// Forces a snapshot checkpoint now (durable trackers only).
+    /// Returns whether a snapshot was written.
+    pub fn checkpoint_now(&self) -> bool {
+        let mut guard = self.inner.persist.lock();
+        let Some(durable) = guard.as_mut() else {
+            return false;
+        };
+        durable
+            .checkpoint(&TrackerDurableState {
+                view: self.inner.view.clone(),
+            })
+            .is_ok()
     }
 
     /// Stops the pump.
@@ -370,8 +425,21 @@ fn apply_event(inner: &TrackerInner, event: TraceEvent) {
     if event.trace_topic != inner.trace_topic || event.entity_id != inner.entity_id {
         return;
     }
-    inner.view.apply(&event);
+    // Journal only what the view accepted: stale re-deliveries never
+    // reach the log, so replay after a crash applies each event
+    // exactly once.
+    if !inner.view.apply(&event) {
+        return;
+    }
     inner.metrics.traces_applied.inc();
+    let mut guard = inner.persist.lock();
+    if let Some(durable) = guard.as_mut() {
+        if durable.record(&event).is_ok() && durable.should_checkpoint() {
+            let _ = durable.checkpoint(&TrackerDurableState {
+                view: inner.view.clone(),
+            });
+        }
+    }
 }
 
 fn send_interest_response(inner: &Arc<TrackerInner>) -> Result<()> {

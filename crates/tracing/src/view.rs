@@ -72,7 +72,11 @@ impl AvailabilityView {
     /// Applies one trace event. Events older than the newest applied
     /// sequence are ignored (traces can arrive out of order across the
     /// broker mesh).
-    pub fn apply(&self, event: &TraceEvent) {
+    ///
+    /// Returns `true` when the event mutated the view, `false` when it
+    /// was discarded as stale — the caller's signal for whether the
+    /// event is worth journalling (see `nb_tracing::persist`).
+    pub fn apply(&self, event: &TraceEvent) -> bool {
         {
             let mut entities = self.entities.write();
             let record = entities
@@ -87,7 +91,7 @@ impl AvailabilityView {
                     traces_seen: 0,
                 });
             if event.seq < record.last_seq {
-                return; // stale
+                return false; // stale
             }
             record.last_seq = event.seq;
             record.last_seen_ms = event.timestamp_ms;
@@ -117,6 +121,26 @@ impl AvailabilityView {
         let mut generation = self.notify.generation.lock();
         *generation += 1;
         self.notify.cv.notify_all();
+        true
+    }
+
+    /// Every record, sorted by entity id — the deterministic iteration
+    /// order the durable snapshot codec needs.
+    pub fn export(&self) -> Vec<(String, EntityRecord)> {
+        let mut all: Vec<(String, EntityRecord)> = self
+            .entities
+            .read()
+            .iter()
+            .map(|(id, r)| (id.clone(), r.clone()))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Installs a recovered record wholesale (snapshot restore). Used
+    /// before the consuming pump starts, so no waiters are signalled.
+    pub fn restore(&self, entity_id: String, record: EntityRecord) {
+        self.entities.write().insert(entity_id, record);
     }
 
     /// Blocks until `pred(self)` holds (true) or `timeout` elapses

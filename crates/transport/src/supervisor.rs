@@ -149,6 +149,19 @@ pub trait Connector: Send + Sync {
 /// quick and must not call back into the supervisor.
 pub type StateObserver = Arc<dyn Fn(LinkState, LinkState) + Send + Sync>;
 
+/// Runs after a completed repair cycle (Down → Up), from the
+/// supervisor thread with **no locks held**. The argument is the
+/// total completed repair count.
+///
+/// Unlike [`StateObserver`], a reconnect hook may send on the
+/// supervised endpoint — that is its purpose: transport repair alone
+/// cannot tell whether the *peer process* survived the outage. If the
+/// peer restarted, its session state (handshakes, subscription sync)
+/// is gone, so the application layer must re-run its session
+/// establishment. Brokers use this to replay the neighbour handshake
+/// after every repair.
+pub type ReconnectHook = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// Tuning for one [`LinkSupervisor`].
 #[derive(Clone, Default)]
 pub struct SupervisorConfig {
@@ -162,6 +175,9 @@ pub struct SupervisorConfig {
     pub seed: u64,
     /// Optional transition hook (metrics, telemetry spans).
     pub observer: Option<StateObserver>,
+    /// Optional post-repair hook (session re-establishment). See
+    /// [`ReconnectHook`].
+    pub on_reconnect: Option<ReconnectHook>,
 }
 
 impl std::fmt::Debug for SupervisorConfig {
@@ -171,6 +187,7 @@ impl std::fmt::Debug for SupervisorConfig {
             .field("buffer_capacity", &self.buffer_capacity)
             .field("seed", &self.seed)
             .field("observer", &self.observer.is_some())
+            .field("on_reconnect", &self.on_reconnect.is_some())
             .finish()
     }
 }
@@ -183,6 +200,7 @@ impl SupervisorConfig {
             buffer_capacity: 1024,
             seed: 0,
             observer: None,
+            on_reconnect: None,
         }
     }
 
@@ -194,6 +212,7 @@ impl SupervisorConfig {
             buffer_capacity: 1024,
             seed: 0,
             observer: None,
+            on_reconnect: None,
         }
     }
 
@@ -212,6 +231,13 @@ impl SupervisorConfig {
     /// Installs a state-transition observer (builder style).
     pub fn with_observer(mut self, observer: StateObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Installs a post-repair hook (builder style). See
+    /// [`ReconnectHook`].
+    pub fn with_reconnect_hook(mut self, hook: ReconnectHook) -> Self {
+        self.on_reconnect = Some(hook);
         self
     }
 }
@@ -627,6 +653,13 @@ fn supervisor_loop(shared: &SupShared, connector: Option<&dyn Connector>, ep_tx:
                 }
             }
         }
+        // Repair finished (state is Up). Fire the session hook with no
+        // locks held: it may send on the supervised endpoint to re-run
+        // application handshakes against a possibly-restarted peer.
+        if let Some(hook) = &shared.cfg.on_reconnect {
+            let count = shared.inner.lock().reconnects;
+            hook(count);
+        }
     }
 }
 
@@ -796,6 +829,46 @@ mod tests {
         // The receive pump follows the swap too.
         server2.send(b"back").unwrap();
         assert_eq!(sc.recv_timeout(Duration::from_secs(2)).unwrap(), b"back");
+    }
+
+    #[test]
+    fn reconnect_hook_fires_after_repair_and_can_send() {
+        let net = SimNetwork::new(26);
+        let (a, b, id) = net.symmetric_link_with_id(LinkConfig::instant());
+        // The hook sends a "session resync" frame through the repaired
+        // link via a slot filled with the facade's sender (the pattern
+        // the broker uses for its neighbour re-handshake).
+        let slot: Arc<Mutex<Option<Arc<dyn FrameSender>>>> = Arc::new(Mutex::new(None));
+        let fired: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let hook_slot = Arc::clone(&slot);
+        let hook_fired = Arc::clone(&fired);
+        let cfg = SupervisorConfig::fast()
+            .with_seed(26)
+            .with_reconnect_hook(Arc::new(move |count| {
+                hook_fired.lock().push(count);
+                if let Some(sender) = hook_slot.lock().clone() {
+                    let _ = sender.send_frame(b"resync");
+                }
+            }));
+        let (sa, sup) = LinkSupervisor::supervise(a, cfg);
+        *slot.lock() = Some(sa.sender());
+
+        sa.send(b"pre").unwrap();
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"pre");
+        assert!(fired.lock().is_empty(), "hook must not fire while Up");
+
+        net.drop_link(id);
+        sa.send(b"during").unwrap();
+        net.restore(id);
+        assert!(sup.wait_for_state(LinkState::Up, Duration::from_secs(5)));
+
+        // The buffered frame replays first, then the hook's resync
+        // frame goes out on the repaired link.
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"during");
+        assert_eq!(b.recv_timeout(Duration::from_secs(1)).unwrap(), b"resync");
+        let fired = fired.lock().clone();
+        assert_eq!(fired.len(), 1, "one repair cycle → one hook call");
+        assert_eq!(fired[0], 1);
     }
 
     #[test]

@@ -89,13 +89,14 @@
 //! See the crate-level documentation of the member crates for each
 //! subsystem: [`nb_crypto`], [`nb_wire`], [`nb_transport`],
 //! [`nb_broker`], [`nb_tdn`], [`nb_tracing`], [`nb_baseline`],
-//! [`nb_metrics`], [`nb_telemetry`], [`nb_obs`].
+//! [`nb_metrics`], [`nb_telemetry`], [`nb_obs`], [`nb_store`].
 
 pub use nb_baseline as baseline;
 pub use nb_broker as broker;
 pub use nb_crypto as crypto;
 pub use nb_metrics as metrics;
 pub use nb_obs as obs;
+pub use nb_store as store;
 pub use nb_tdn as tdn;
 pub use nb_telemetry as telemetry;
 pub use nb_tracing as tracing;
@@ -109,6 +110,7 @@ pub mod prelude {
     pub use nb_crypto::Uuid;
     pub use nb_metrics::{Registry, Snapshot};
     pub use nb_obs::{ClusterAggregator, PublisherConfig, TelemetryPublisher};
+    pub use nb_store::{Durable, DurableState, FsyncPolicy, Recovery, StoreConfig, TempDir};
     pub use nb_tdn::TdnCluster;
     pub use nb_telemetry::{TelemetryConfig, TraceContext};
     pub use nb_tracing::config::{SigningMode, TracingConfig};
