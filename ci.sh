@@ -20,6 +20,18 @@ cargo build --release --workspace
 echo "== test =="
 cargo test --workspace --quiet
 
+# Session-layer smoke (runs in --quick too: it gates the security hot
+# path): drives the hosting-broker trace path under the per-trace RSA
+# regime and the session-tagged HMAC regime on the co-resident
+# contention workload; asserts (inside the binary) exact delivery,
+# monitor silence, zero RSA fallbacks, a ≥10x speedup over per-trace
+# RSA, and that a populated keyring costs < 5% of the plain fast path,
+# then writes BENCH_session.json; validate the shape documented in
+# docs/PERFORMANCE.md.
+echo "== session report (quick) =="
+cargo run --release -p nb-bench --bin session_report -- --quick
+python3 ci/check_bench_json.py session
+
 if ! $quick; then
     if cargo clippy --version >/dev/null 2>&1; then
         echo "== clippy =="

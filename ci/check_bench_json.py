@@ -3,8 +3,8 @@
 
 Usage: check_bench_json.py <schema>
 
-where <schema> is one of ``throughput``, ``monitor``, ``obs`` or
-``recovery``. Each
+where <schema> is one of ``throughput``, ``monitor``, ``obs``,
+``recovery`` or ``session``. Each
 schema names the file the matching bench binary writes, the per-run
 sections it must contain, and the report-level invariants CI holds it
 to (see docs/PERFORMANCE.md and docs/OBSERVABILITY.md). Exits non-zero
@@ -42,6 +42,18 @@ SCHEMAS = {
         "file": "BENCH_recovery.json",
         "bench": "recovery_report",
         "sections": (),
+        "extra_run_keys": (),
+    },
+    "session": {
+        "file": "BENCH_session.json",
+        "bench": "session_report",
+        "sections": (
+            "rsa_signed",
+            "rsa_token",
+            "session",
+            "fastpath_no_keys",
+            "fastpath_keys",
+        ),
         "extra_run_keys": (),
     },
 }
@@ -98,6 +110,17 @@ def check(schema_name: str) -> str:
         assert steady["overhead_pct"] < 5, f"WAL overhead {steady['overhead_pct']}%"
         assert steady["wal_records"] > 0, "durable broker journalled nothing"
         return f"overhead {steady['overhead_pct']}%"
+    if schema_name == "session":
+        speedup = report["speedup_vs_rsa_signed"]
+        assert speedup >= 10, f"session only {speedup}x over per-trace RSA (bar: 10x)"
+        assert report["speedup_vs_rsa_token"] > 1
+        assert report["session_verified"] > 0, "keyring never authenticated a frame"
+        assert report["session_fallbacks"] == 0, "session frames fell back to RSA"
+        assert report["monitor_events"] > 0, "monitors never saw the traffic"
+        assert report["violations"] == 0, "clean traffic raised violations"
+        pct = report["session_fastpath_overhead_pct"]
+        assert pct < 5, f"session gate costs {pct}% of fast-path throughput"
+        return f"speedup {speedup}x, fastpath overhead {pct}%"
     raise AssertionError(f"unhandled schema {schema_name}")
 
 

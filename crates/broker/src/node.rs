@@ -8,7 +8,7 @@ use crate::subscription::SubscriptionTable;
 use crate::Result;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use nb_crypto::rsa::RsaPublicKey;
-use nb_crypto::Uuid;
+use nb_crypto::{SessionKey, SessionKeyring, SessionVerdict, Uuid};
 use nb_metrics::{Counter, Gauge, Registry, Snapshot};
 use nb_telemetry::{now_ns, FlightRecorder, SpanEvent, Stage, TelemetryConfig, TraceContext};
 use nb_transport::clock::SharedClock;
@@ -122,6 +122,18 @@ struct BrokerMetrics {
     dropped_ttl: Counter,
     /// Clients disconnected for repeated bogus attempts.
     terminated_clients: Counter,
+    /// Trace frames authenticated by a session-key MAC instead of the
+    /// RSA token path (fast and slow path combined).
+    session_verified: Counter,
+    /// Session-tagged frames that fell back to the RSA token checks
+    /// (unknown or expired key id — e.g. the publisher rotated first).
+    session_fallback: Counter,
+    /// Session-tagged frames dropped for a bad MAC or a key bound to a
+    /// different trace topic.
+    session_rejected: Counter,
+    /// Session-tagged frames dropped because their key was revoked
+    /// (each is also reported to an attached monitor).
+    session_revoked_dropped: Counter,
     /// Condvar wake-ups inside [`Broker::wait_for_neighbors`].
     neighbor_wait_wakeups: Counter,
     /// Condvar wake-ups inside [`Broker::wait_for_remote_subscription`].
@@ -152,6 +164,10 @@ impl BrokerMetrics {
             dropped_spurious: registry.counter("broker.drop.spurious_token"),
             dropped_ttl: registry.counter("broker.drop.ttl_exceeded"),
             terminated_clients: registry.counter("broker.client.terminated"),
+            session_verified: registry.counter("broker.session.verified"),
+            session_fallback: registry.counter("broker.session.fallback"),
+            session_rejected: registry.counter("broker.session.rejected"),
+            session_revoked_dropped: registry.counter("broker.session.revoked_drop"),
             neighbor_wait_wakeups: registry.counter("broker.neighbor_wait.wakeups"),
             subscription_wait_wakeups: registry.counter("broker.subscription_wait.wakeups"),
             link_reconnects: registry.counter("broker.link.reconnects"),
@@ -266,6 +282,11 @@ struct Inner {
     /// The attached runtime-verification monitor, if any (see
     /// [`Broker::attach_monitor`]).
     monitor: RwLock<Option<MonitorSet>>,
+    /// Session keys negotiated for this broker's trace topics (see
+    /// [`Broker::install_session_key`]): frames tagged under a live
+    /// key authenticate with one HMAC instead of the RSA token chain.
+    /// Shared by reference with the hosting tracing engine.
+    session_keys: Arc<SessionKeyring>,
     /// The durable store (WAL + snapshots) and its replay mirror, when
     /// [`BrokerConfig::data_dir`] is set. Off the data plane: only
     /// control-plane mutations take this lock.
@@ -372,6 +393,7 @@ impl Broker {
                 link_cv: Condvar::new(),
                 monitor_on: AtomicBool::new(false),
                 monitor: RwLock::new(None),
+                session_keys: Arc::new(SessionKeyring::new()),
                 persist: Mutex::new(persist),
                 recovery,
             }),
@@ -553,6 +575,45 @@ impl Broker {
                 monitor.register_owner(trace_topic, key);
             }
         }
+    }
+
+    /// The broker's session keyring, shared with the hosting tracing
+    /// engine: keys the engine negotiates with entities authenticate
+    /// trace frames here without further registration.
+    pub fn session_keyring(&self) -> Arc<SessionKeyring> {
+        Arc::clone(&self.inner.session_keys)
+    }
+
+    /// Installs a negotiated session key: trace frames tagged under it
+    /// verify with one HMAC over the signable region — on the cached
+    /// fast path in place — instead of the per-frame RSA token chain.
+    pub fn install_session_key(&self, key: SessionKey) {
+        // Bump under the state lock like every control-plane mutation:
+        // route entries resolve their `session_live` gate at fill time
+        // and must never survive a keyring change.
+        let state = self.inner.state.lock();
+        self.inner.session_keys.install(key);
+        self.inner.routes.bump();
+        drop(state);
+    }
+
+    /// Revokes a session key: frames still tagged under it are dropped
+    /// and, when a monitor is attached, reported as delivery attempts
+    /// so its `require-session` property can flag the replay. Returns
+    /// whether the key was known to this broker.
+    pub fn revoke_session_key(&self, key_id: u64) -> bool {
+        let known = {
+            let _state = self.inner.state.lock();
+            let known = self.inner.session_keys.revoke(key_id);
+            self.inner.routes.bump();
+            known
+        };
+        if self.inner.monitor_on.load(Ordering::Acquire) {
+            if let Some(monitor) = self.inner.monitor.read().as_ref() {
+                monitor.revoke_session_key(key_id);
+            }
+        }
+        known
     }
 
     /// Attaches an online runtime-verification monitor: every delivery
@@ -923,6 +984,94 @@ fn token_acceptable(inner: &Inner, msg: &Message, constrained: &ConstrainedTopic
     }
 }
 
+/// Outcome of the slow path's session-layer admission check — the
+/// owned-decode analogue of the fast path's in-place keyring verify.
+enum SessionCheck {
+    /// Verified against a live session key: skip the token checks.
+    Accept,
+    /// No tag, no keys, or an unknown/expired key id: apply the full
+    /// RSA token checks.
+    Fallback,
+    /// Bad MAC or a key bound to another topic: discard.
+    Reject,
+    /// Tagged under a revoked key: report to the monitor, then discard.
+    RejectRevoked,
+}
+
+/// Checks a trace publication's session tag (if any) against the
+/// broker keyring. Only broker-published trace channels participate;
+/// everything else falls through to [`token_acceptable`] untouched.
+fn session_check(inner: &Inner, msg: &Message, constrained: &ConstrainedTopic) -> SessionCheck {
+    let is_trace_publication = constrained.event_type == EventType::Traces
+        && constrained.allowed_actions == AllowedActions::PublishOnly;
+    if !is_trace_publication || !inner.config.require_tokens || inner.session_keys.is_empty() {
+        return SessionCheck::Fallback;
+    }
+    let Some(tag) = &msg.session else {
+        return SessionCheck::Fallback;
+    };
+    let expected = constrained
+        .suffixes
+        .first()
+        .and_then(|s| s.parse::<Uuid>().ok());
+    let signable = msg.signable_bytes();
+    match inner.session_keys.verify(
+        tag.key_id,
+        tag.seq,
+        expected.as_ref(),
+        inner.clock.now_ms(),
+        &[&signable],
+        &tag.mac,
+    ) {
+        SessionVerdict::Verified => {
+            inner.metrics.session_verified.inc();
+            SessionCheck::Accept
+        }
+        SessionVerdict::UnknownKey | SessionVerdict::Expired => {
+            inner.metrics.session_fallback.inc();
+            SessionCheck::Fallback
+        }
+        SessionVerdict::Revoked => {
+            inner.metrics.session_revoked_dropped.inc();
+            SessionCheck::RejectRevoked
+        }
+        SessionVerdict::BadMac | SessionVerdict::WrongTopic => {
+            inner.metrics.session_rejected.inc();
+            SessionCheck::Reject
+        }
+    }
+}
+
+/// Combined session + token admission for trace publications on the
+/// slow path. Returns `false` when the message must be discarded
+/// (rejection accounting and monitor reporting already done).
+fn trace_admission(inner: &Inner, msg: &Message, constrained: &ConstrainedTopic) -> bool {
+    match session_check(inner, msg, constrained) {
+        SessionCheck::Accept => true,
+        SessionCheck::Reject => {
+            inner.metrics.dropped_spurious.inc();
+            false
+        }
+        SessionCheck::RejectRevoked => {
+            inner.metrics.dropped_spurious.inc();
+            // Report the attempt so the monitor's `require-session`
+            // property sees the replay it exists to catch.
+            if inner.monitor_on.load(Ordering::Relaxed) {
+                notify_monitor(inner, msg);
+            }
+            false
+        }
+        SessionCheck::Fallback => {
+            if token_acceptable(inner, msg, constrained) {
+                true
+            } else {
+                inner.metrics.dropped_spurious.inc();
+                false
+            }
+        }
+    }
+}
+
 fn route(inner: &Inner, mut msg: Message, origin: Origin) {
     inner.routes.slowpath.inc();
     // Hop accounting: every neighbour ingress is one broker-to-broker
@@ -969,8 +1118,7 @@ fn route(inner: &Inner, mut msg: Message, origin: Origin) {
         }
         Origin::Neighbor(_) => {
             if let Some(c) = &constrained {
-                if !token_acceptable(inner, &msg, c) {
-                    inner.metrics.dropped_spurious.inc();
+                if !trace_admission(inner, &msg, c) {
                     return;
                 }
             }
@@ -982,8 +1130,7 @@ fn route(inner: &Inner, mut msg: Message, origin: Origin) {
         // publications' ingress from clients (clients can never publish
         // there — permits() already refused — so this is for Internal).
         if let (Origin::Internal, Some(c)) = (&origin, &constrained) {
-            if !token_acceptable(inner, &msg, c) {
-                inner.metrics.dropped_spurious.inc();
+            if !trace_admission(inner, &msg, c) {
                 return;
             }
         }
@@ -1133,6 +1280,7 @@ fn notify_monitor(inner: &Inner, msg: &Message) {
             Some(token) => TokenSource::Decoded(token),
             None => TokenSource::Absent,
         },
+        session: msg.session,
         now_ms: inner.clock.now_ms(),
     });
 }
@@ -1219,8 +1367,52 @@ fn try_fast_route(inner: &Inner, frame: &mut [u8], origin: OriginRef<'_>) -> boo
         return false;
     }
     if policy.requires_token && inner.config.require_tokens {
-        // Token validity/signature checks stay on the slow path.
-        return false;
+        // Session fast path (amortized RSA): a frame tagged under a
+        // live session key authenticates with one HMAC over the
+        // signable region, in place — no decode, no bignum math.
+        // Untagged frames, or frames whose key this broker does not
+        // hold live, keep the full RSA token checks on the slow path.
+        let (Some(tag), true) = (&view.session, entry.session_live) else {
+            return false;
+        };
+        match inner.session_keys.verify(
+            tag.key_id,
+            tag.seq,
+            policy.session_topic.as_ref(),
+            inner.clock.now_ms(),
+            &view.signable_parts(),
+            &tag.mac,
+        ) {
+            SessionVerdict::Verified => inner.metrics.session_verified.inc(),
+            SessionVerdict::UnknownKey | SessionVerdict::Expired => {
+                // The publisher may hold a newer key than we do, or
+                // the key aged out mid-flight: let the slow path run
+                // the RSA token fallback instead of dropping.
+                inner.metrics.session_fallback.inc();
+                return false;
+            }
+            SessionVerdict::Revoked => {
+                // A frame under a revoked key is the replay the
+                // monitor's `require-session` property watches for:
+                // report the attempt, then drop the frame.
+                inner.metrics.session_revoked_dropped.inc();
+                inner.metrics.dropped_spurious.inc();
+                if entry.monitored {
+                    let hop = view.trace.as_ref().map(|ctx| ctx.hop_count);
+                    if let Some(monitor) = inner.monitor.read().as_ref() {
+                        monitor.on_delivery(&DeliveryEvent::from_view(
+                            &inner.id, &view, frame, hash, hop,
+                        ));
+                    }
+                }
+                return true;
+            }
+            SessionVerdict::BadMac | SessionVerdict::WrongTopic => {
+                inner.metrics.session_rejected.inc();
+                inner.metrics.dropped_spurious.inc();
+                return true;
+            }
+        }
     }
     let forward_allowed = match origin {
         OriginRef::Client(id) => {
@@ -1343,6 +1535,17 @@ fn fill_route_entry(
             .read()
             .as_ref()
             .is_some_and(|m| m.monitors_topic(hash, &TopicRef::Owned(&topic)));
+    // Same after-the-snapshot rule for the session-key gate: a key
+    // installed or revoked since the snapshot bumped the version under
+    // the state lock, so this entry is already stale.
+    let session_live = policy
+        .as_ref()
+        .and_then(|p| p.session_topic.as_ref())
+        .is_some_and(|trace_topic| {
+            inner
+                .session_keys
+                .has_live_key_for(trace_topic, inner.clock.now_ms())
+        });
     let entry = Arc::new(RouteEntry {
         topic,
         policy,
@@ -1350,6 +1553,7 @@ fn fill_route_entry(
         neighbors,
         has_internal,
         monitored,
+        session_live,
         published_family,
         delivered_family,
     });

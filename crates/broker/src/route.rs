@@ -32,6 +32,7 @@
 //! it, then take one shard write lock. No path ever holds a shard lock
 //! and the state lock simultaneously, so no lock-order cycle exists.
 
+use nb_crypto::Uuid;
 use nb_metrics::{Counter, Histogram, Registry};
 use nb_transport::endpoint::FrameSender;
 use nb_wire::constrained::{
@@ -75,6 +76,11 @@ pub(crate) struct TopicPolicy {
     /// Suppress/Limited distribution with an entity constrainer: that
     /// entity's publishes stay local.
     pub suppress_entity: Option<String>,
+    /// The trace-topic uuid parsed from the publication suffix, when
+    /// the channel requires tokens and the suffix is a uuid. Binds
+    /// session keys to the one topic they were minted for: a key for
+    /// topic A can never authenticate a frame on topic B.
+    pub session_topic: Option<Uuid>,
     /// Bounded-cardinality per-topic metric label (event-type segment,
     /// or `plain`).
     pub family: String,
@@ -92,6 +98,7 @@ impl TopicPolicy {
                 requires_token: false,
                 suppress_broker: false,
                 suppress_entity: None,
+                session_topic: None,
                 family: "plain".to_string(),
             },
             Some(c) => {
@@ -107,6 +114,11 @@ impl TopicPolicy {
                 };
                 let requires_token = c.event_type == EventType::Traces
                     && c.allowed_actions == AllowedActions::PublishOnly;
+                let session_topic = if requires_token {
+                    c.suffixes.first().and_then(|s| s.parse::<Uuid>().ok())
+                } else {
+                    None
+                };
                 let (suppress_broker, suppress_entity) = if c.suppressed() {
                     match &c.constrainer {
                         Constrainer::Broker => (true, None),
@@ -125,6 +137,7 @@ impl TopicPolicy {
                     requires_token,
                     suppress_broker,
                     suppress_entity,
+                    session_topic,
                     family,
                 }
             }
@@ -187,6 +200,13 @@ pub(crate) struct RouteEntry {
     /// consulted afterwards — unmonitored topics pay one branch here
     /// instead of a lock probe per frame.
     pub monitored: bool,
+    /// Whether the broker's session keyring held at least one live key
+    /// for this topic's trace-topic uuid at fill time. Installing or
+    /// revoking a session key bumps the cache version under the state
+    /// lock, so the flag is never stale: `false` means the fast path
+    /// skips the keyring entirely and token-bearing channels keep
+    /// their slow-path RSA checks.
+    pub session_live: bool,
     /// Cached `broker.publish.topic.<family>` handle.
     pub published_family: Counter,
     /// Cached `broker.deliver.topic.<family>` handle.
@@ -295,6 +315,7 @@ mod tests {
             neighbors: Vec::new(),
             has_internal: false,
             monitored: false,
+            session_live: false,
             published_family: registry.counter("test.pub"),
             delivered_family: registry.counter("test.del"),
         })
@@ -395,6 +416,30 @@ mod tests {
         assert_eq!(p.publish_rule, PublishRule::EntityOnly("entity-7".into()));
         assert!(p.client_may_publish("entity-7"));
         assert!(!p.client_may_publish("entity-8"));
+    }
+
+    #[test]
+    fn policy_session_topic_binds_only_uuid_trace_publications() {
+        // A publication topic whose first suffix is the trace-topic
+        // uuid binds the session layer to that uuid.
+        let uuid: Uuid = "6ba7b810-9dad-11d1-80b4-00c04fd430c8".parse().unwrap();
+        let p = TopicPolicy::compile(&t(&format!(
+            "/Constrained/Traces/Broker/Publish-Only/{uuid}/AllUpdates"
+        )))
+        .unwrap();
+        assert!(p.requires_token);
+        assert_eq!(p.session_topic, Some(uuid));
+        // A non-uuid suffix still requires tokens but never a session.
+        let p = TopicPolicy::compile(&t("/Constrained/Traces/Broker/Publish-Only/tt")).unwrap();
+        assert!(p.requires_token);
+        assert_eq!(p.session_topic, None);
+        // Tokenless channels never carry a session binding.
+        let p = TopicPolicy::compile(&t(&format!(
+            "/Constrained/Traces/Broker/Subscribe-Only/{uuid}"
+        )))
+        .unwrap();
+        assert!(!p.requires_token);
+        assert_eq!(p.session_topic, None);
     }
 
     #[test]

@@ -365,6 +365,26 @@ mod tests {
     }
 
     #[test]
+    fn validity_boundary_is_inclusive_at_both_ends() {
+        // Cross-layer contract: certificates, authorization tokens and
+        // session keys all accept at the exact boundary instants —
+        // a cert accepted at `not_after_ms` must not be rejected by a
+        // downstream layer at the same instant (see token and
+        // session-key boundary tests for the other layers).
+        let mut rng = StdRng::seed_from_u64(48);
+        let mut ca = ca().lock().unwrap();
+        let cred = ca.issue("entity:edge", validity(), &mut rng).unwrap();
+        let window = validity();
+        assert!(window.contains(window.not_before_ms));
+        assert!(window.contains(window.not_after_ms));
+        assert!(!window.contains(window.not_after_ms + 1));
+        ca.verify_issued(&cred.certificate, window.not_before_ms)
+            .expect("accepted at exactly not_before_ms");
+        ca.verify_issued(&cred.certificate, window.not_after_ms)
+            .expect("accepted at exactly not_after_ms");
+    }
+
+    #[test]
     fn tampered_certificate_rejected() {
         let mut rng = StdRng::seed_from_u64(45);
         let mut ca = ca().lock().unwrap();

@@ -9,6 +9,14 @@ use crate::digest::Digest;
 
 /// Computes `HMAC(key, message)` with digest `D`.
 pub fn hmac<D: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
+    hmac_parts::<D>(key, &[message])
+}
+
+/// Computes `HMAC(key, parts[0] ‖ parts[1] ‖ …)` with digest `D` —
+/// identical to [`hmac`] over the concatenation, without requiring the
+/// caller to materialize it. The broker's zero-copy fast path feeds
+/// the signable region of a frame as two borrowed slices.
+pub fn hmac_parts<D: Digest>(key: &[u8], parts: &[&[u8]]) -> Vec<u8> {
     let mut key_block = vec![0u8; D::BLOCK_LEN];
     if key.len() > D::BLOCK_LEN {
         let hashed = D::digest(key);
@@ -20,7 +28,9 @@ pub fn hmac<D: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
     let mut inner = D::default();
     let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
     inner.update(&ipad);
-    inner.update(message);
+    for part in parts {
+        inner.update(part);
+    }
     let inner_hash = inner.finalize();
 
     let mut outer = D::default();
@@ -30,19 +40,31 @@ pub fn hmac<D: Digest>(key: &[u8], message: &[u8]) -> Vec<u8> {
     outer.finalize()
 }
 
+/// Constant-time byte-slice equality: length check, then an
+/// XOR-accumulate pass with no early exit on content differences.
+///
+/// This is the single comparison routine for all secret-dependent
+/// equality in the crate — MAC verification ([`verify_mac`]) and
+/// RSA signature verification (`RsaPublicKey::verify` compares the
+/// recovered encoded message through it) both route here, so neither
+/// leaks match-prefix length through timing.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
 /// Constant-time byte-slice equality for MAC verification.
 ///
 /// Returns `false` for length mismatches without early exit on
 /// content differences.
 pub fn verify_mac(expected: &[u8], actual: &[u8]) -> bool {
-    if expected.len() != actual.len() {
-        return false;
-    }
-    let mut diff = 0u8;
-    for (a, b) in expected.iter().zip(actual.iter()) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    ct_eq(expected, actual)
 }
 
 #[cfg(test)]
@@ -120,5 +142,37 @@ mod tests {
         tampered[0] ^= 1;
         assert!(!verify_mac(&mac, &tampered));
         assert!(!verify_mac(&mac, &mac[..31]));
+    }
+
+    #[test]
+    fn hmac_parts_equals_hmac_over_concatenation() {
+        let key = b"session-secret";
+        let whole = b"abcdef0123456789";
+        let concat = hmac::<Sha256>(key, whole);
+        for split in [0usize, 1, 7, whole.len()] {
+            let (a, b) = whole.split_at(split);
+            assert_eq!(hmac_parts::<Sha256>(key, &[a, b]), concat);
+        }
+        assert_eq!(
+            hmac_parts::<Sha256>(key, &[&whole[..3], &whole[3..9], &whole[9..], b""]),
+            concat
+        );
+        assert_eq!(hmac_parts::<Sha1>(key, &[whole]), hmac::<Sha1>(key, whole));
+    }
+
+    #[test]
+    fn ct_eq_semantics() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        // Differences anywhere in the slice are caught (no early exit
+        // to observe, but semantics must hold at every position).
+        let base = [0u8; 64];
+        for i in 0..64 {
+            let mut other = base;
+            other[i] = 1;
+            assert!(!ct_eq(&base, &other));
+        }
     }
 }

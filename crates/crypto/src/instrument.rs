@@ -9,12 +9,19 @@
 
 use std::sync::LazyLock;
 
-use nb_metrics::Histogram;
+use nb_metrics::{Counter, Histogram};
 
 macro_rules! op_histogram {
     ($static_name:ident, $metric:literal) => {
         pub(crate) static $static_name: LazyLock<Histogram> =
             LazyLock::new(|| nb_metrics::global().histogram($metric));
+    };
+}
+
+macro_rules! op_counter {
+    ($static_name:ident, $metric:literal) => {
+        pub(crate) static $static_name: LazyLock<Counter> =
+            LazyLock::new(|| nb_metrics::global().counter($metric));
     };
 }
 
@@ -26,3 +33,11 @@ op_histogram!(RSA_KEYGEN_MS, "crypto.rsa.keygen_ms");
 op_histogram!(AES_ENCRYPT_US, "crypto.aes.encrypt_us");
 op_histogram!(AES_DECRYPT_US, "crypto.aes.decrypt_us");
 op_histogram!(AES_CTR_US, "crypto.aes.ctr_us");
+
+op_counter!(SESSION_INSTALLED, "crypto.session.installed");
+op_counter!(SESSION_REVOKED, "crypto.session.revoked");
+op_counter!(SESSION_TAGGED, "crypto.session.tagged");
+op_counter!(SESSION_VERIFIED, "crypto.session.verified");
+op_counter!(SESSION_REJECTED, "crypto.session.rejected");
+op_counter!(SESSION_UNKNOWN, "crypto.session.unknown_key");
+op_counter!(SESSION_EXPIRED, "crypto.session.expired");

@@ -39,6 +39,7 @@ pub mod modes;
 pub mod padding;
 pub mod prime;
 pub mod rsa;
+pub mod session;
 pub mod sha1;
 pub mod sha256;
 pub mod uuid;
@@ -49,6 +50,7 @@ pub use digest::{Digest, DigestAlgorithm};
 pub use error::CryptoError;
 pub use hybrid::SealedEnvelope;
 pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use session::{SessionKey, SessionKeyring, SessionVerdict, SESSION_MAC_LEN};
 pub use uuid::Uuid;
 
 /// Convenience result alias used throughout the crate.

@@ -153,7 +153,10 @@ impl RsaPublicKey {
         let s = BigUint::from_bytes_be(signature);
         let em = self.raw(&s)?.to_bytes_be_padded(k)?;
         let expected = emsa_pkcs1_v15(alg, message, k)?;
-        if em == expected {
+        // Constant-time comparison: `em == expected` would exit at the
+        // first differing byte, leaking how much of the encoded
+        // message an attacker-supplied signature recovered.
+        if crate::hmac::ct_eq(&em, &expected) {
             Ok(())
         } else {
             Err(CryptoError::SignatureMismatch)
@@ -170,17 +173,26 @@ impl RsaPublicKey {
             return Err(CryptoError::MessageTooLarge);
         }
         // EM = 0x00 || 0x02 || PS (nonzero random) || 0x00 || M
+        //
+        // Each `next_u32()` yields four uniform bytes; use all of them
+        // (rejection-sampling only the zeros, which must not appear in
+        // PS) instead of drawing one word per byte and discarding
+        // three quarters of the entropy.
         let ps_len = k - plaintext.len() - 3;
         let mut em = Vec::with_capacity(k);
         em.push(0x00);
         em.push(0x02);
-        for _ in 0..ps_len {
-            loop {
-                let b = (rng.next_u32() & 0xff) as u8;
-                if b != 0 {
-                    em.push(b);
-                    break;
-                }
+        let mut word = [0u8; 4];
+        let mut avail = 0usize;
+        while em.len() < 2 + ps_len {
+            if avail == 0 {
+                word = rng.next_u32().to_le_bytes();
+                avail = 4;
+            }
+            let b = word[4 - avail];
+            avail -= 1;
+            if b != 0 {
+                em.push(b);
             }
         }
         em.push(0x00);
@@ -501,6 +513,96 @@ mod tests {
     fn public_key_from_private_matches() {
         let kp = keypair();
         assert_eq!(kp.private.public_key(), kp.public);
+    }
+
+    /// Recovers the encoded message `EM` from a ciphertext via the raw
+    /// private operation (no padding strip), so tests can inspect the
+    /// exact EME-PKCS1-v1_5 layout the encryptor produced.
+    fn recover_em(kp: &RsaKeyPair, ct: &[u8]) -> Vec<u8> {
+        let c = BigUint::from_bytes_be(ct);
+        kp.private
+            .raw(&c)
+            .unwrap()
+            .to_bytes_be_padded(kp.public.modulus_len())
+            .unwrap()
+    }
+
+    /// Asserts `em` is exactly `00 02 || PS (nonzero) || 00 || msg`.
+    fn assert_em_layout(em: &[u8], k: usize, msg: &[u8]) {
+        assert_eq!(em.len(), k);
+        assert_eq!(em[0], 0x00);
+        assert_eq!(em[1], 0x02);
+        let ps = &em[2..k - msg.len() - 1];
+        assert!(ps.len() >= 8, "padding string shorter than 8 bytes");
+        assert!(ps.iter().all(|&b| b != 0), "zero byte inside PS");
+        assert_eq!(em[k - msg.len() - 1], 0x00);
+        assert_eq!(&em[k - msg.len()..], msg);
+    }
+
+    #[test]
+    fn deterministic_rng_preserves_em_layout() {
+        // The batched four-bytes-per-draw padding must produce the
+        // same EM *structure* as before: 00 02, all-nonzero PS, 00,
+        // message — byte-exact under a deterministic RNG.
+        let kp = keypair();
+        let msg = b"layout probe";
+        let mut r = StdRng::seed_from_u64(424242);
+        let ct = kp.public.encrypt(msg, &mut r).unwrap();
+        assert_em_layout(&recover_em(kp, &ct), kp.public.modulus_len(), msg);
+        // Same seed, same ciphertext: the draw is deterministic.
+        let mut r2 = StdRng::seed_from_u64(424242);
+        assert_eq!(kp.public.encrypt(msg, &mut r2).unwrap(), ct);
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+
+    /// An RNG whose words are riddled with zero bytes, forcing the
+    /// padding loop through its rejection-sampling branch.
+    struct ZeroHeavyRng {
+        n: u64,
+    }
+
+    impl rand::RngCore for ZeroHeavyRng {
+        fn raw_u64(&mut self) -> u64 {
+            self.n = self.n.wrapping_add(1);
+            // Low half zero → `next_u32` (the high half) alternates
+            // between words with 0x00 bytes and fully nonzero words.
+            if self.n.is_multiple_of(2) {
+                0x00ab_00cd_0000_0000
+            } else {
+                0x1122_3344_0000_0000u64.wrapping_add(self.n << 32)
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bytes_are_rejection_sampled_not_emitted() {
+        let kp = keypair();
+        let msg = b"reject zeros";
+        let mut r = ZeroHeavyRng { n: 0 };
+        let ct = kp.public.encrypt(msg, &mut r).unwrap();
+        assert_em_layout(&recover_em(kp, &ct), kp.public.modulus_len(), msg);
+        assert_eq!(kp.private.decrypt(&ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn padding_consumes_four_bytes_per_word() {
+        // A counting RNG with no zero bytes must be drawn exactly
+        // ⌈ps_len/4⌉ times — the pre-fix code drew once per byte.
+        struct CountingRng {
+            draws: u64,
+        }
+        impl rand::RngCore for CountingRng {
+            fn raw_u64(&mut self) -> u64 {
+                self.draws += 1;
+                0x0101_0101_0000_0000u64 // next_u32 → 0x01010101
+            }
+        }
+        let kp = keypair();
+        let msg = b"budget";
+        let ps_len = kp.public.modulus_len() - msg.len() - 3;
+        let mut r = CountingRng { draws: 0 };
+        kp.public.encrypt(msg, &mut r).unwrap();
+        assert_eq!(r.draws as usize, ps_len.div_ceil(4));
     }
 
     #[test]

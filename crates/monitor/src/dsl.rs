@@ -24,6 +24,11 @@ pub enum PropertyKind {
         /// Whether an absent trace section is a violation.
         require_trace: bool,
     },
+    /// Deliveries on the pattern must not be authenticated by a
+    /// session key the monitor has seen revoked (a replay under a
+    /// retired key). Untagged traffic is governed by `RequireToken`
+    /// instead; tags under keys never revoked here pass.
+    SessionAuth,
     /// No `(node, sender, message-id)` triple may be delivered twice.
     ExactlyOnce,
     /// Availability verdicts must be causally consistent with ping
@@ -52,6 +57,7 @@ pub struct PropertySpec {
 /// ```text
 /// # comments and blank lines are skipped
 /// auth:   require-token on /Constrained/Traces/*/Publish-Only/#
+/// sess:   require-session on /Constrained/Traces/*/Publish-Only/#
 /// ttl:    max-hops 16 on /Constrained/Traces/#
 /// strip:  require-ttl 16 on /Constrained/Traces/*/Publish-Only/*/*/ChangeNotifications
 /// replay: exactly-once on /Constrained/Traces/#
@@ -98,6 +104,7 @@ pub fn parse_properties(text: &str) -> Result<Vec<PropertySpec>, String> {
                     require_trace: k == "require-ttl",
                 }
             }
+            Some("require-session") => PropertyKind::SessionAuth,
             Some("exactly-once") => PropertyKind::ExactlyOnce,
             Some("causal-verdicts") => PropertyKind::CausalVerdicts,
             _ => return Err(err("unknown property kind")),
@@ -120,9 +127,10 @@ pub fn parse_properties(text: &str) -> Result<Vec<PropertySpec>, String> {
     Ok(specs)
 }
 
-/// The standard property set covering the paper's four core
-/// guarantees: authorized delivery, bounded TTL, exactly-once
-/// delivery, and causally consistent availability verdicts.
+/// The standard property set covering the paper's core guarantees:
+/// authorized delivery, no replays under revoked session keys,
+/// bounded TTL, exactly-once delivery, and causally consistent
+/// availability verdicts.
 ///
 /// `max_hops` should mirror `BrokerConfig::max_hops`. When
 /// `strict_ttl` is set (use only with telemetry enabled, where every
@@ -132,6 +140,7 @@ pub fn parse_properties(text: &str) -> Result<Vec<PropertySpec>, String> {
 pub fn standard_properties(max_hops: u8, strict_ttl: bool) -> Vec<PropertySpec> {
     let mut text = format!(
         "auth: require-token on /Constrained/Traces/*/Publish-Only/#\n\
+         session: require-session on /Constrained/Traces/*/Publish-Only/#\n\
          ttl: max-hops {max_hops} on /Constrained/Traces/#\n\
          replay: exactly-once on /Constrained/Traces/#\n\
          causal: causal-verdicts on /Entities/#\n"
@@ -157,10 +166,11 @@ mod tests {
              b: max-hops 7 on /x/*/y\n\
              c: require-ttl 3 on /x/#\n\
              d: exactly-once on /z\n\
-             e: causal-verdicts on /Entities/#\n",
+             e: causal-verdicts on /Entities/#\n\
+             f: require-session on /Constrained/Traces/#\n",
         )
         .expect("parse");
-        assert_eq!(specs.len(), 5);
+        assert_eq!(specs.len(), 6);
         assert_eq!(specs[0].kind, PropertyKind::RequireToken);
         assert_eq!(
             specs[1].kind,
@@ -178,6 +188,7 @@ mod tests {
         );
         assert_eq!(specs[3].kind, PropertyKind::ExactlyOnce);
         assert_eq!(specs[4].kind, PropertyKind::CausalVerdicts);
+        assert_eq!(specs[5].kind, PropertyKind::SessionAuth);
         assert_eq!(specs[1].pattern.to_string(), "/x/*/y");
     }
 
@@ -208,12 +219,12 @@ mod tests {
     }
 
     #[test]
-    fn standard_set_has_the_four_core_properties() {
+    fn standard_set_has_the_core_properties() {
         let specs = standard_properties(16, false);
         let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, ["auth", "ttl", "replay", "causal"]);
+        assert_eq!(names, ["auth", "session", "ttl", "replay", "causal"]);
         let strict = standard_properties(16, true);
-        assert_eq!(strict.len(), 5);
-        assert_eq!(strict[4].name, "ttl-strip");
+        assert_eq!(strict.len(), 6);
+        assert_eq!(strict[5].name, "ttl-strip");
     }
 }

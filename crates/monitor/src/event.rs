@@ -6,7 +6,7 @@
 //! is about to forward, so building an event costs no allocation.
 
 use nb_wire::codec::Decode;
-use nb_wire::{AuthorizationToken, MessageView, Topic, TopicView};
+use nb_wire::{AuthorizationToken, MessageView, SessionTag, Topic, TopicView};
 
 /// A borrowed view of the topic a delivery happened on — either the
 /// owned [`Topic`] of a decoded message (slow path) or the zero-copy
@@ -94,6 +94,11 @@ pub struct DeliveryEvent<'a> {
     pub hop: Option<u8>,
     /// Authorization evidence.
     pub token: TokenSource<'a>,
+    /// Session tag from the envelope's trailing section, when the
+    /// frame authenticates via a negotiated session key instead of an
+    /// RSA-signed token (the broker verifies the MAC before reporting;
+    /// the monitor audits the key's revocation state).
+    pub session: Option<SessionTag>,
     /// Wall-clock milliseconds for token-window checks and reports.
     pub now_ms: u64,
 }
@@ -121,6 +126,7 @@ impl<'a> DeliveryEvent<'a> {
             } else {
                 TokenSource::Absent
             },
+            session: view.session,
             now_ms: view.timestamp_ms,
         }
     }

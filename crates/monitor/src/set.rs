@@ -170,6 +170,9 @@ struct SetInner {
     /// recomputes from the patterns — always correct, just slower.
     prefilter: [AtomicU64; PREFILTER_SLOTS],
     owner_keys: RwLock<HashMap<Uuid, RsaPublicKey>>,
+    /// Session-key ids seen revoked: deliveries tagged under any of
+    /// these breach a `require-session` property.
+    revoked_sessions: RwLock<HashSet<u64>>,
     dedup: Mutex<DedupWindow>,
     ledgers: Mutex<HashMap<(String, String), PingLedger>>,
     violations: Mutex<Vec<Violation>>,
@@ -223,6 +226,7 @@ impl MonitorSet {
                 credential,
                 prefilter: [const { AtomicU64::new(0) }; PREFILTER_SLOTS],
                 owner_keys: RwLock::new(HashMap::new()),
+                revoked_sessions: RwLock::new(HashSet::new()),
                 dedup: Mutex::new(DedupWindow::new(DEDUP_WINDOW_CAP)),
                 ledgers: Mutex::new(HashMap::new()),
                 violations: Mutex::new(Vec::new()),
@@ -240,6 +244,20 @@ impl MonitorSet {
     /// window-only checks, like a transit broker).
     pub fn register_owner(&self, trace_topic: Uuid, key: RsaPublicKey) {
         self.inner.owner_keys.write().insert(trace_topic, key);
+    }
+
+    /// Records a session-key revocation: any later delivery tagged
+    /// under `key_id` breaches the `require-session` properties
+    /// governing its topic. Brokers keep this registry in sync via
+    /// `Broker::revoke_session_key`; auditors can also feed it from
+    /// signed `SessionKeyRevoke` broadcasts on the audit topic.
+    pub fn revoke_session_key(&self, key_id: u64) {
+        self.inner.revoked_sessions.write().insert(key_id);
+    }
+
+    /// Whether `key_id` has been revoked on this monitor.
+    pub fn is_session_revoked(&self, key_id: u64) -> bool {
+        self.inner.revoked_sessions.read().contains(&key_id)
     }
 
     /// Installs the audit publisher. Until a sink is set, violations
@@ -334,8 +352,31 @@ impl MonitorSet {
     fn check_delivery(&self, spec: &PropertySpec, ev: &DeliveryEvent<'_>) {
         match spec.kind {
             PropertyKind::RequireToken => {
-                if let Some(detail) = self.token_verdict(&ev.token, ev.now_ms) {
-                    self.flag(spec, ev.node, ev.topic.render(), detail, ev.now_ms);
+                // Session-tagged frames authenticate through the
+                // broker's keyring (the MAC was verified before the
+                // delivery was reported); their key state is audited
+                // by `require-session`, so flagging the absent token
+                // here would double-count one breach under two names.
+                if ev.session.is_none() {
+                    if let Some(detail) = self.token_verdict(&ev.token, ev.now_ms) {
+                        self.flag(spec, ev.node, ev.topic.render(), detail, ev.now_ms);
+                    }
+                }
+            }
+            PropertyKind::SessionAuth => {
+                if let Some(tag) = &ev.session {
+                    if self.inner.revoked_sessions.read().contains(&tag.key_id) {
+                        self.flag(
+                            spec,
+                            ev.node,
+                            ev.topic.render(),
+                            format!(
+                                "delivery attempt under revoked session key {:#018x} (seq {})",
+                                tag.key_id, tag.seq
+                            ),
+                            ev.now_ms,
+                        );
+                    }
                 }
             }
             PropertyKind::MaxHops {
@@ -393,7 +434,12 @@ impl MonitorSet {
 
     fn token_detail(&self, token: &AuthorizationToken, now_ms: u64) -> Option<String> {
         let skew = self.inner.token_skew_ms;
-        if now_ms + skew < token.valid_from_ms || now_ms > token.valid_until_ms + skew {
+        // Saturating on both sides: a token minted with a validity
+        // bound near u64::MAX must read as "never expires", not wrap
+        // into the past (mirrors `token_acceptable` in nb-broker).
+        if now_ms.saturating_add(skew) < token.valid_from_ms
+            || now_ms > token.valid_until_ms.saturating_add(skew)
+        {
             return Some(format!(
                 "token outside its validity window ({}..{} at {now_ms})",
                 token.valid_from_ms, token.valid_until_ms

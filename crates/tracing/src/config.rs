@@ -54,6 +54,19 @@ pub struct TracingConfig {
     /// RSA modulus size for delegate key pairs and session keys.
     /// The paper uses 1024; tests may use 512 for speed.
     pub rsa_bits: usize,
+    /// Establish a per-(entity, tracker-set) trace session key at
+    /// start-up: the entity announces an HMAC-SHA256 key via an
+    /// RSA-signed, RSA-sealed handshake, and every trace publication
+    /// then carries a cheap session MAC instead of relying on
+    /// per-message RSA token verification (amortized RSA). Opt-in;
+    /// traces keep carrying tokens either way, so receivers without
+    /// the key fall back to the full RSA path.
+    pub session_keys: bool,
+    /// Trace session-key lifetime, ms (the engine rotates at 3/4 of
+    /// this; see `nb_crypto::SessionKeyring::needs_rotation`).
+    pub session_lifetime_ms: u64,
+    /// Messages a trace session key may tag before rotation is due.
+    pub session_max_messages: u64,
     /// Causal-tracing knobs, shared by the brokers, engines, entities
     /// and trackers of a deployment (see `docs/OBSERVABILITY.md`,
     /// "Causal tracing").
@@ -83,6 +96,9 @@ impl Default for TracingConfig {
             token_lifetime_ms: 60_000,
             token_skew_ms: 100,
             rsa_bits: 1024,
+            session_keys: false,
+            session_lifetime_ms: 600_000,
+            session_max_messages: 1 << 16,
             telemetry: nb_telemetry::TelemetryConfig::default(),
             link_supervision: None,
         }
@@ -108,6 +124,9 @@ impl TracingConfig {
             token_lifetime_ms: 60_000,
             token_skew_ms: 100,
             rsa_bits: 512,
+            session_keys: false,
+            session_lifetime_ms: 600_000,
+            session_max_messages: 1 << 16,
             telemetry: nb_telemetry::TelemetryConfig::default(),
             link_supervision: None,
         }

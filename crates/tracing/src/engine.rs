@@ -14,7 +14,7 @@ use nb_crypto::cert::{Certificate, Credential};
 use nb_crypto::hybrid::SealedEnvelope;
 use nb_crypto::modes::{cbc_encrypt, ctr_transform, CipherMode};
 use nb_crypto::rsa::RsaPublicKey;
-use nb_crypto::Uuid;
+use nb_crypto::{SessionKey, SessionKeyring, Uuid};
 use nb_metrics::{Counter, Gauge, Histogram, Registry, Snapshot};
 use nb_telemetry::{now_ns, FlightRecorder, HeadSampler, SpanEvent, Stage, TraceContext};
 use nb_transport::clock::SharedClock;
@@ -24,11 +24,11 @@ use nb_wire::token::AuthorizationToken;
 use nb_wire::trace::{topics, EntityState, TraceCategory, TraceEvent, TraceKind};
 use nb_monitor::{MonitorSet, VerdictKind};
 use nb_obs::{NodeKind, PublisherConfig, TelemetryPublisher};
-use nb_wire::{Message, Payload};
+use nb_wire::{Message, Payload, SessionTag};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -61,6 +61,9 @@ struct EngineMetrics {
     failures: Counter,
     auth_failures: Counter,
     keys_delivered: Counter,
+    session_established: Counter,
+    session_rotations: Counter,
+    session_keys_delivered: Counter,
     /// Milliseconds from the last evidence of liveness (last ping
     /// response, or the first ping for entities that never answered)
     /// to the FAILED verdict — the paper's detection latency.
@@ -79,6 +82,9 @@ impl EngineMetrics {
             failures: registry.counter("tracing.detector.failures"),
             auth_failures: registry.counter("tracing.auth.failures"),
             keys_delivered: registry.counter("tracing.keys.delivered"),
+            session_established: registry.counter("tracing.session.established"),
+            session_rotations: registry.counter("tracing.session.rotations"),
+            session_keys_delivered: registry.counter("tracing.session.delivered"),
             time_to_detect_ms: registry.histogram("tracing.detection.time_to_detect_ms"),
             sessions: registry.gauge("tracing.sessions"),
             registry,
@@ -103,6 +109,10 @@ pub struct EngineStatsSnapshot {
     pub auth_failures: u64,
     /// Trace keys delivered.
     pub keys_delivered: u64,
+    /// Trace session keys adopted (announcements + rotations).
+    pub session_established: u64,
+    /// Trace session-key rotations performed.
+    pub session_rotations: u64,
 }
 
 /// Upper bound on messages parked while waiting for a reordered
@@ -122,6 +132,13 @@ struct Session {
     /// §5.1 secret trace key and negotiated cipher mode (traces
     /// encrypted when present).
     trace_key: Option<(Vec<u8>, CipherMode)>,
+    /// Current trace session key (amortized RSA): the id of the key
+    /// the engine tags outgoing trace publications with. The key
+    /// material itself lives in the broker's shared keyring.
+    session_key_id: Option<u64>,
+    /// Trackers that already hold the current session key (cleared on
+    /// every adoption/rotation so the new key fans out again).
+    session_delivered: HashSet<String>,
     interest: InterestSet,
     trace_seq: u64,
     joined: bool,
@@ -142,6 +159,10 @@ struct EngineInner {
     sessions: Mutex<HashMap<String, Session>>,
     /// trace topic → entity id (for interest responses).
     topic_index: Mutex<HashMap<Uuid, String>>,
+    /// The hosting broker's session keyring (shared by reference: the
+    /// broker's data plane verifies against the very keys the engine
+    /// installs and tags with).
+    session_keys: Arc<SessionKeyring>,
     metrics: EngineMetrics,
     /// Per-engine causal-tracing span ring.
     recorder: FlightRecorder,
@@ -183,6 +204,7 @@ impl TracingEngine {
 
         let recorder = FlightRecorder::new(consumer.clone(), setup.config.telemetry.capacity);
         let sampler = HeadSampler::from_config(&setup.config.telemetry);
+        let session_keys = setup.broker.session_keyring();
         let inner = Arc::new(EngineInner {
             broker: setup.broker,
             credential: setup.credential,
@@ -192,6 +214,7 @@ impl TracingEngine {
             config: setup.config,
             sessions: Mutex::new(HashMap::new()),
             topic_index: Mutex::new(HashMap::new()),
+            session_keys,
             metrics: EngineMetrics::new(),
             recorder,
             sampler,
@@ -302,6 +325,8 @@ impl TracingEngine {
             failures: m.failures.get(),
             auth_failures: m.auth_failures.get(),
             keys_delivered: m.keys_delivered.get(),
+            session_established: m.session_established.get(),
+            session_rotations: m.session_rotations.get(),
         }
     }
 
@@ -383,7 +408,8 @@ fn handle_message(inner: &Arc<EngineInner>, msg: Message) {
         | Payload::SilentModeRequest
         | Payload::DelegationToken { .. }
         | Payload::TraceKeyDelivery { .. }
-        | Payload::SymmetricKeySetup { .. } => {
+        | Payload::SymmetricKeySetup { .. }
+        | Payload::SessionKeyAnnounce { .. } => {
             let ctx = traced;
             handle_session_message(inner, msg);
             if let Some(ctx) = &ctx {
@@ -565,6 +591,8 @@ fn handle_registration(inner: &Arc<EngineInner>, msg: &Message) {
         token: None,
         mac_key: None,
         trace_key: None,
+        session_key_id: None,
+        session_delivered: HashSet::new(),
         interest: InterestSet::new(),
         trace_seq: 1,
         joined: false,
@@ -618,8 +646,13 @@ fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
         return;
     };
 
-    // The §6.3 transition message itself must carry an RSA signature.
-    let is_key_setup = matches!(msg.payload, Payload::SymmetricKeySetup { .. });
+    // The §6.3 transition message and the session-key announcement
+    // must themselves carry an RSA signature — they are the asymmetric
+    // half of the handshakes every later HMAC amortizes.
+    let is_key_setup = matches!(
+        msg.payload,
+        Payload::SymmetricKeySetup { .. } | Payload::SessionKeyAnnounce { .. }
+    );
     if is_key_setup {
         if msg.verify_signature(&session.cert.public_key).is_err() {
             inner.metrics.auth_failures.inc();
@@ -711,6 +744,24 @@ fn handle_session_message(inner: &Arc<EngineInner>, msg: Message) {
                 }
             }
         }
+        Payload::SessionKeyAnnounce { sealed } => {
+            // The entity's freshly minted trace session key. Adopt it:
+            // install into the broker keyring (the data plane starts
+            // accepting its MACs), tag from now on, fan it out to the
+            // interested tracker-set. Re-announcements (loss recovery)
+            // adopt the newest key; superseded ones simply age out.
+            if let Ok(bytes) = sealed.open(&inner.credential.private_key) {
+                if let Ok(key) = SessionKey::from_bytes(&bytes) {
+                    if key.topic != session.trace_topic {
+                        inner.metrics.auth_failures.inc();
+                        return;
+                    }
+                    if session.session_key_id != Some(key.key_id) {
+                        adopt_session_key(inner, session, key, now);
+                    }
+                }
+            }
+        }
         Payload::SymmetricKeySetup { sealed } => {
             if let Ok(key) = sealed.open(&inner.credential.private_key) {
                 session.mac_key = Some(key);
@@ -783,6 +834,9 @@ fn handle_interest_response(inner: &Arc<EngineInner>, msg: &Message) {
     if session.trace_key.is_some() {
         deliver_pending_keys(inner, session, now);
     }
+    // Session layer: fan the current session key out to trackers that
+    // do not hold it yet.
+    deliver_session_keys(inner, session, now);
 }
 
 fn trace_topic_from_message(msg: &Message) -> Option<Uuid> {
@@ -820,6 +874,112 @@ fn deliver_pending_keys(inner: &EngineInner, session: &mut Session, now: u64) {
         inner.broker.publish_internal(msg);
         session.interest.mark_key_delivered(&tracker_id);
         inner.metrics.keys_delivered.inc();
+    }
+}
+
+/// Adopts `key` as the session's current trace session key: installs
+/// it into the broker's shared keyring and fans it out to the
+/// interested tracker-set.
+fn adopt_session_key(inner: &EngineInner, session: &mut Session, key: SessionKey, now: u64) {
+    session.session_key_id = Some(key.key_id);
+    session.session_delivered.clear();
+    inner.broker.install_session_key(key);
+    inner.metrics.session_established.inc();
+    deliver_session_keys(inner, session, now);
+}
+
+/// Delivers the current session key, sealed, to every interested
+/// tracker that does not hold it yet (mirrors
+/// [`deliver_pending_keys`]). No-ops until both the key and the
+/// delegation token exist; retried from every interest response, so a
+/// lost delivery heals on the next gauge round.
+fn deliver_session_keys(inner: &EngineInner, session: &mut Session, now: u64) {
+    let Some(key_id) = session.session_key_id else {
+        return;
+    };
+    let Some(key) = inner.session_keys.get(key_id) else {
+        return;
+    };
+    let Some(token) = session.token.clone() else {
+        return;
+    };
+    for (tracker_id, interest) in session.interest.trackers() {
+        if session.session_delivered.contains(&tracker_id) {
+            continue;
+        }
+        let sealed = {
+            let mut rng = inner.rng.lock();
+            SealedEnvelope::seal(
+                &interest.certificate.public_key,
+                &key.to_bytes(),
+                nb_crypto::aes::KeySize::Aes192,
+                &mut *rng,
+            )
+        };
+        let Ok(sealed) = sealed else { continue };
+        let msg = Message::new(
+            inner.broker.next_message_id(),
+            interest.reply_topic.clone(),
+            inner.broker.id().to_string(),
+            now,
+            Payload::SessionKeyDelivery { sealed },
+        )
+        .with_token(token.clone());
+        inner.broker.publish_internal(msg);
+        session.session_delivered.insert(tracker_id);
+        inner.metrics.session_keys_delivered.inc();
+    }
+}
+
+/// Rotates the session's trace session key: mints and adopts a fresh
+/// one, then revokes the spent key — at the hosting broker (which
+/// syncs any attached monitor), at every interested tracker, and with
+/// a signed notice on the audit topic so operators see the rotation.
+///
+/// Ordering matters for seamlessness: the new key is installed and
+/// fanned out *before* the old one is revoked, so the tagged stream
+/// never passes through a keyless window.
+fn rotate_session_key(inner: &EngineInner, session: &mut Session, old_key_id: u64, now: u64) {
+    let fresh = {
+        let mut rng = inner.rng.lock();
+        SessionKey::mint(
+            session.trace_topic,
+            now,
+            inner.config.session_lifetime_ms,
+            inner.config.session_max_messages,
+            &mut *rng,
+        )
+    };
+    adopt_session_key(inner, session, fresh, now);
+    inner.broker.revoke_session_key(old_key_id);
+    inner.metrics.session_rotations.inc();
+
+    let revoke = Payload::SessionKeyRevoke {
+        key_id: old_key_id,
+        topic: session.trace_topic,
+    };
+    if let Some(token) = session.token.clone() {
+        for (_, interest) in session.interest.trackers() {
+            let msg = Message::new(
+                inner.broker.next_message_id(),
+                interest.reply_topic.clone(),
+                inner.broker.id().to_string(),
+                now,
+                revoke.clone(),
+            )
+            .with_token(token.clone());
+            inner.broker.publish_internal(msg);
+        }
+    }
+    let mut audit = Message::new(
+        inner.broker.next_message_id(),
+        nb_monitor::audit_topic(),
+        inner.broker.id().to_string(),
+        now,
+        revoke,
+    );
+    if audit.sign(&inner.credential).is_ok() {
+        inner.broker.publish_internal(audit);
     }
 }
 
@@ -910,6 +1070,16 @@ fn publish_trace(
     if let Some(ctx) = ctx {
         msg = msg.with_trace(ctx);
     }
+    // Amortized RSA: tag the publication under the trace session key
+    // so every broker holding it authenticates with one HMAC on the
+    // cached fast path. The token stays attached — receivers without
+    // the key (or after the budget runs dry) fall back to it.
+    if let Some(key_id) = session.session_key_id {
+        let signable = msg.signable_bytes();
+        if let Some((seq, mac)) = inner.session_keys.tag(key_id, now, &[&signable]) {
+            msg = msg.with_session(SessionTag { key_id, seq, mac });
+        }
+    }
     inner.broker.publish_internal(msg);
     inner.metrics.traces_published.inc();
     if let Some(ctx) = ctx.filter(|c| c.sampled) {
@@ -999,6 +1169,14 @@ fn run_tick(inner: &Arc<EngineInner>) {
             inner.metrics.pings_sent.inc();
             if let Some(ctx) = ctx.filter(|c| c.sampled) {
                 record_root(inner, &ctx, Stage::PingSend, t0);
+            }
+        }
+
+        // Session-key rotation: when the budget is spent or the key
+        // has aged past 3/4 of its lifetime, mint-adopt-revoke.
+        if let Some(key_id) = session.session_key_id {
+            if inner.session_keys.needs_rotation(key_id, now) {
+                rotate_session_key(inner, session, key_id, now);
             }
         }
 

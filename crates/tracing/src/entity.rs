@@ -24,7 +24,7 @@ use nb_broker::BrokerClient;
 use nb_crypto::cert::Credential;
 use nb_crypto::hybrid::SealedEnvelope;
 use nb_crypto::rsa::{RsaKeyPair, RsaPublicKey};
-use nb_crypto::Uuid;
+use nb_crypto::{SessionKey, Uuid};
 use nb_tdn::TdnCluster;
 use nb_telemetry::{HeadSampler, TraceContext};
 use nb_transport::clock::SharedClock;
@@ -225,6 +225,9 @@ impl TracedEntity {
         if opts.secured {
             entity.send_trace_key()?;
         }
+        if entity.inner.config.session_keys {
+            entity.announce_session_key()?;
+        }
 
         // 7. Announce readiness and start answering pings.
         entity.set_state(EntityState::Ready)?;
@@ -349,6 +352,42 @@ impl TracedEntity {
         Ok(())
     }
 
+    /// Mints a fresh trace session key, seals it to the hosting
+    /// broker and announces it — the asymmetric half of the
+    /// amortized-RSA handshake. The engine installs the key and tags
+    /// every subsequent trace publication with an HMAC under it, so
+    /// the per-trace hot path never touches RSA again until rotation.
+    ///
+    /// The announcement itself is RSA-signed (like the §6.3
+    /// symmetric-key setup): the broker must know the key came from
+    /// the credentialed entity, not a bystander.
+    pub fn announce_session_key(&self) -> Result<()> {
+        let now = self.inner.clock.now_ms();
+        let sealed = {
+            let mut rng = self.inner.rng.lock();
+            let key = SessionKey::mint(
+                self.inner.trace_topic,
+                now,
+                self.inner.config.session_lifetime_ms,
+                self.inner.config.session_max_messages,
+                &mut *rng,
+            );
+            SealedEnvelope::seal(
+                &self.inner.broker_key,
+                &key.to_bytes(),
+                nb_crypto::aes::KeySize::Aes192,
+                &mut *rng,
+            )?
+        };
+        let mut msg = self.inner.client.make_message(
+            self.inner.session_channel.clone(),
+            Payload::SessionKeyAnnounce { sealed },
+        );
+        msg.sign(&self.inner.credential)?;
+        self.inner.client.send_message(&msg)?;
+        Ok(())
+    }
+
     /// Generates the secret trace key and routes it, sealed, to the
     /// broker (§5.1). Traces are encrypted from then on.
     pub fn send_trace_key(&self) -> Result<()> {
@@ -430,6 +469,12 @@ impl TracedEntity {
                     }
                     if inner.secured {
                         let _ = entity.send_trace_key();
+                    }
+                    // A lost announcement leaves the engine on the
+                    // token path; each retry mints a fresh key and the
+                    // engine adopts the newest.
+                    if inner.config.session_keys {
+                        let _ = entity.announce_session_key();
                     }
                     let state = *inner.state.lock();
                     let _ = entity.send_authed(Payload::StateReport {

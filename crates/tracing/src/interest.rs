@@ -87,6 +87,16 @@ impl InterestSet {
         self.trackers.len()
     }
 
+    /// Every registered tracker (session-key distribution fans out to
+    /// the whole interested set, not just those missing the trace
+    /// key).
+    pub fn trackers(&self) -> Vec<(String, TrackerInterest)> {
+        self.trackers
+            .iter()
+            .map(|(id, t)| (id.clone(), t.clone()))
+            .collect()
+    }
+
     /// Trackers that still need the secret trace key.
     pub fn pending_key_delivery(&self) -> Vec<(String, TrackerInterest)> {
         self.trackers

@@ -16,7 +16,7 @@ use nb_broker::BrokerClient;
 use nb_crypto::cert::Credential;
 use nb_crypto::modes::{cbc_decrypt, ctr_transform, CipherMode};
 use nb_crypto::rsa::RsaPublicKey;
-use nb_crypto::Uuid;
+use nb_crypto::{SessionKey, SessionKeyring, SessionVerdict, Uuid};
 use nb_metrics::{Counter, Registry, Snapshot};
 use nb_store::{Durable, Recovery, StoreConfig};
 use nb_tdn::TdnCluster;
@@ -62,6 +62,8 @@ struct TrackerMetrics {
     rejected_tokens: Counter,
     undecryptable: Counter,
     interest_responses: Counter,
+    session_verified: Counter,
+    session_rejected: Counter,
 }
 
 impl TrackerMetrics {
@@ -72,6 +74,8 @@ impl TrackerMetrics {
             rejected_tokens: registry.counter("tracker.tokens.rejected"),
             undecryptable: registry.counter("tracker.traces.undecryptable"),
             interest_responses: registry.counter("tracker.interest.responses"),
+            session_verified: registry.counter("tracker.session.verified"),
+            session_rejected: registry.counter("tracker.session.rejected"),
             registry,
         }
     }
@@ -88,6 +92,9 @@ struct TrackerInner {
     owner_key: RsaPublicKey,
     interests: Vec<TraceCategory>,
     trace_key: Mutex<Option<(Vec<u8>, CipherMode)>>,
+    /// Session keys delivered by the engine (amortized RSA): tagged
+    /// traces verify with one HMAC here instead of an RSA token check.
+    sessions: SessionKeyring,
     view: AvailabilityView,
     /// Journal for applied traces, when durability is enabled.
     persist: Mutex<Option<Durable<TrackerDurableState>>>,
@@ -164,6 +171,7 @@ impl Tracker {
             owner_key,
             interests: opts.interests,
             trace_key: Mutex::new(None),
+            sessions: SessionKeyring::new(),
             view,
             persist: Mutex::new(persist),
             recovery,
@@ -225,6 +233,17 @@ impl Tracker {
     /// Whether the sealed trace key has arrived (secured tracing).
     pub fn has_trace_key(&self) -> bool {
         self.inner.trace_key.lock().is_some()
+    }
+
+    /// Whether at least one trace session key has been delivered
+    /// (amortized-RSA tagging).
+    pub fn has_session_key(&self) -> bool {
+        !self.inner.sessions.is_empty()
+    }
+
+    /// Traces authenticated by a session MAC (no RSA on the hot path).
+    pub fn session_verified(&self) -> u64 {
+        self.inner.metrics.session_verified.get()
     }
 
     /// What recovery found on start-up, when this tracker is durable.
@@ -339,6 +358,47 @@ fn token_valid(inner: &TrackerInner, msg: &Message) -> bool {
         .is_ok()
 }
 
+/// Whether a trace publication is admissible: a valid session MAC
+/// under a delivered key (one HMAC, the amortized-RSA hot path), or —
+/// for untagged frames and unknown/expired key ids — the full §4.1
+/// RSA token check. Revoked keys, wrong-topic keys and bad MACs are
+/// security events: the frame is rejected outright, token or not.
+fn frame_authorized(inner: &TrackerInner, msg: &Message) -> bool {
+    if let Some(tag) = &msg.session {
+        if !inner.sessions.is_empty() {
+            let signable = msg.signable_bytes();
+            match inner.sessions.verify(
+                tag.key_id,
+                tag.seq,
+                Some(&inner.trace_topic),
+                inner.clock.now_ms(),
+                &[&signable],
+                &tag.mac,
+            ) {
+                SessionVerdict::Verified => {
+                    inner.metrics.session_verified.inc();
+                    return true;
+                }
+                // The issuer rotated ahead of us (or the key lapsed):
+                // fall back to the RSA token path below.
+                SessionVerdict::UnknownKey | SessionVerdict::Expired => {}
+                SessionVerdict::Revoked
+                | SessionVerdict::WrongTopic
+                | SessionVerdict::BadMac => {
+                    inner.metrics.session_rejected.inc();
+                    return false;
+                }
+            }
+        }
+    }
+    if token_valid(inner, msg) {
+        true
+    } else {
+        inner.metrics.rejected_tokens.inc();
+        false
+    }
+}
+
 /// Records a terminal tracker span when the message rode a sampled
 /// trace.
 fn record_span(inner: &TrackerInner, ctx: Option<&TraceContext>, stage: Stage, t0: u64) {
@@ -377,9 +437,33 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
                 }
             }
         }
-        Payload::Trace { event } => {
+        Payload::SessionKeyDelivery { sealed } => {
             if !token_valid(inner, &msg) {
                 inner.metrics.rejected_tokens.inc();
+                return;
+            }
+            if let Ok(bytes) = sealed.open(&inner.credential.private_key) {
+                if let Ok(key) = SessionKey::from_bytes(&bytes) {
+                    // Only keys bound to the tracked topic are
+                    // admissible — anything else cannot authenticate
+                    // our entity's traces anyway.
+                    if key.topic == inner.trace_topic {
+                        inner.sessions.install(key);
+                    }
+                }
+            }
+        }
+        Payload::SessionKeyRevoke { key_id, topic } => {
+            if !token_valid(inner, &msg) {
+                inner.metrics.rejected_tokens.inc();
+                return;
+            }
+            if *topic == inner.trace_topic {
+                inner.sessions.revoke(*key_id);
+            }
+        }
+        Payload::Trace { event } => {
+            if !frame_authorized(inner, &msg) {
                 record_span(inner, traced.as_ref(), Stage::TrackerReject, t0);
                 return;
             }
@@ -387,8 +471,7 @@ fn handle_message(inner: &Arc<TrackerInner>, msg: Message) {
             record_span(inner, traced.as_ref(), Stage::TrackerApply, t0);
         }
         Payload::EncryptedTrace { iv, ciphertext } => {
-            if !token_valid(inner, &msg) {
-                inner.metrics.rejected_tokens.inc();
+            if !frame_authorized(inner, &msg) {
                 record_span(inner, traced.as_ref(), Stage::TrackerReject, t0);
                 return;
             }

@@ -28,7 +28,7 @@ pub mod view;
 
 pub use constrained::{AllowedActions, ConstrainedTopic, Constrainer, Distribution, EventType};
 pub use error::WireError;
-pub use message::Message;
+pub use message::{Message, SessionTag, SESSION_TAG_LEN, SESSION_TAG_MAC_LEN};
 pub use payload::Payload;
 pub use token::{AuthorizationToken, Rights};
 pub use topic::Topic;

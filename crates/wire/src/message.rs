@@ -45,6 +45,63 @@ pub const MIN_WIRE_VERSION: u8 = 1;
 /// Trailing-section tag carrying a [`TraceContext`].
 pub const SECTION_TRACE: u8 = 1;
 
+/// Trailing-section tag carrying a [`SessionTag`].
+pub const SECTION_SESSION: u8 = 2;
+
+/// Length of a session-tag MAC (HMAC-SHA256).
+pub const SESSION_TAG_MAC_LEN: usize = 32;
+
+/// Encoded length of a [`SessionTag`] section body.
+pub const SESSION_TAG_LEN: usize = 8 + 8 + SESSION_TAG_MAC_LEN;
+
+/// Session authentication tag (wire v3 trailing section).
+///
+/// Rides *outside* the signed region — like the trace section — so
+/// attaching or stripping it never invalidates an end-to-end RSA
+/// signature, and v1/v2 peers that predate it simply skip the section.
+/// The MAC covers `key_id ‖ seq ‖ signable-bytes` under the session
+/// key named by `key_id` (see `nb_crypto::session`), so the tag binds
+/// to both the key and this message's position in the tagged stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionTag {
+    /// Identifier of the session key that produced `mac`.
+    pub key_id: u64,
+    /// Per-key sequence number of this message.
+    pub seq: u64,
+    /// HMAC-SHA256 over `key_id ‖ seq ‖ signable-bytes`.
+    pub mac: [u8; SESSION_TAG_MAC_LEN],
+}
+
+impl SessionTag {
+    /// Encodes the section body (fixed [`SESSION_TAG_LEN`] bytes).
+    pub fn to_section_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SESSION_TAG_LEN);
+        out.extend_from_slice(&self.key_id.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Decodes a section body. Trailing bytes are tolerated so the
+    /// section can grow compatibly; a short body is an error.
+    pub fn from_section_bytes(body: &[u8]) -> Result<Self> {
+        if body.len() < SESSION_TAG_LEN {
+            return Err(WireError::Truncated("session tag"));
+        }
+        let mut key_id = [0u8; 8];
+        key_id.copy_from_slice(&body[..8]);
+        let mut seq = [0u8; 8];
+        seq.copy_from_slice(&body[8..16]);
+        let mut mac = [0u8; SESSION_TAG_MAC_LEN];
+        mac.copy_from_slice(&body[16..16 + SESSION_TAG_MAC_LEN]);
+        Ok(SessionTag {
+            key_id: u64::from_be_bytes(key_id),
+            seq: u64::from_be_bytes(seq),
+            mac,
+        })
+    }
+}
+
 /// A routable message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
@@ -72,6 +129,12 @@ pub struct Message {
     /// hop, and tampering with it can only corrupt telemetry, never
     /// authorization.
     pub trace: Option<TraceContext>,
+    /// Session authentication tag (wire v3 trailing section): an
+    /// HMAC-SHA256 over the signable bytes under a negotiated session
+    /// key, letting brokers and trackers skip per-message RSA
+    /// verification. Self-authenticating (the MAC covers the signed
+    /// region), so like `trace` it travels outside the signature.
+    pub session: Option<SessionTag>,
 }
 
 impl Message {
@@ -88,6 +151,7 @@ impl Message {
             token: None,
             mac: None,
             trace: None,
+            session: None,
         }
     }
 
@@ -164,6 +228,12 @@ impl Message {
         self
     }
 
+    /// Attaches a session authentication tag (builder style).
+    pub fn with_session(mut self, session: SessionTag) -> Self {
+        self.session = Some(session);
+        self
+    }
+
     /// Whether this message carries a head-sampled trace context —
     /// the guard recorders evaluate before doing any tracing work.
     pub fn trace_sampled(&self) -> bool {
@@ -215,13 +285,15 @@ impl Message {
     /// Encodes the trailing-section block (v2+): count, then
     /// `(tag, length-prefixed body)` pairs.
     fn encode_sections(&self, w: &mut Writer) {
-        match &self.trace {
-            Some(ctx) => {
-                w.put_varint(1);
-                w.put_u8(SECTION_TRACE);
-                w.put_bytes(&encode_trace_section(ctx));
-            }
-            None => w.put_varint(0),
+        let count = u64::from(self.trace.is_some()) + u64::from(self.session.is_some());
+        w.put_varint(count);
+        if let Some(ctx) = &self.trace {
+            w.put_u8(SECTION_TRACE);
+            w.put_bytes(&encode_trace_section(ctx));
+        }
+        if let Some(tag) = &self.session {
+            w.put_u8(SECTION_SESSION);
+            w.put_bytes(&tag.to_section_bytes());
         }
     }
 }
@@ -308,6 +380,7 @@ impl Decode for Message {
             token: r.get_option(AuthorizationToken::decode)?,
             mac: r.get_option(|r| r.get_bytes())?,
             trace: None,
+            session: None,
         };
         if version >= 2 {
             let sections = r.get_varint()?;
@@ -316,6 +389,8 @@ impl Decode for Message {
                 let body = r.get_bytes_ref()?;
                 if tag == SECTION_TRACE && msg.trace.is_none() {
                     msg.trace = Some(decode_trace_section(body)?);
+                } else if tag == SECTION_SESSION && msg.session.is_none() {
+                    msg.session = Some(SessionTag::from_section_bytes(body)?);
                 }
                 // Any other tag: an extension from a newer peer — skip.
             }
@@ -456,6 +531,60 @@ mod tests {
         m.trace = Some(TraceContext::root(1, true).next_hop());
         m.verify_signature(&cred.certificate.public_key).unwrap();
         m.verify_mac(b"k").unwrap();
+    }
+
+    #[test]
+    fn codec_round_trip_with_session_tag() {
+        let tag = SessionTag {
+            key_id: 0xfeed_f00d_1234_5678,
+            seq: 42,
+            mac: [7; SESSION_TAG_MAC_LEN],
+        };
+        let m = sample().with_session(tag);
+        let back = Message::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.session, Some(tag));
+        assert_eq!(back, m);
+        // Alongside a trace section, both survive.
+        let both = m.with_trace(TraceContext::root(5, true));
+        let back = Message::from_bytes(&both.to_bytes()).unwrap();
+        assert_eq!(back, both);
+    }
+
+    #[test]
+    fn session_tag_not_covered_by_signature() {
+        // Brokers may strip or ignore the session section without
+        // breaking end-to-end RSA verification, exactly like the trace
+        // section.
+        let cred = credential();
+        let mut m = sample();
+        m.sign(cred).unwrap();
+        m.session = Some(SessionTag {
+            key_id: 1,
+            seq: 0,
+            mac: [0; SESSION_TAG_MAC_LEN],
+        });
+        m.verify_signature(&cred.certificate.public_key).unwrap();
+        m.session = None;
+        m.verify_signature(&cred.certificate.public_key).unwrap();
+    }
+
+    #[test]
+    fn truncated_session_section_rejected() {
+        let tag = SessionTag {
+            key_id: 9,
+            seq: 1,
+            mac: [1; SESSION_TAG_MAC_LEN],
+        };
+        let body = tag.to_section_bytes();
+        assert_eq!(body.len(), SESSION_TAG_LEN);
+        assert_eq!(SessionTag::from_section_bytes(&body).unwrap(), tag);
+        for cut in 0..SESSION_TAG_LEN {
+            assert!(SessionTag::from_section_bytes(&body[..cut]).is_err());
+        }
+        // Trailing growth bytes are tolerated.
+        let mut grown = body;
+        grown.push(0xaa);
+        assert_eq!(SessionTag::from_section_bytes(&grown).unwrap(), tag);
     }
 
     #[test]

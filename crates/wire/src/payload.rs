@@ -464,6 +464,33 @@ pub enum Payload {
         token: crate::token::AuthorizationToken,
     },
 
+    // ----- session-key layer (amortized RSA) -----
+    /// Entity → engine: a freshly minted session key
+    /// (`nb_crypto::session::SessionKey` bytes), sealed to the hosting
+    /// broker's public key. Must arrive RSA-signed — this is the
+    /// asymmetric half of the handshake that every later session tag
+    /// amortizes.
+    SessionKeyAnnounce {
+        /// Sealed to the broker's public key.
+        sealed: SealedEnvelope,
+    },
+    /// Engine → tracker: the entity's current session key, sealed to
+    /// the tracker's public key and delivered on its reply topic
+    /// (mirrors [`Payload::TraceKeyDelivery`]).
+    SessionKeyDelivery {
+        /// Sealed to the tracker's public key.
+        sealed: SealedEnvelope,
+    },
+    /// Engine → trackers / audit topic: a session key is no longer
+    /// acceptable. On the trace topic it is tagged under the retiring
+    /// key; on the audit topic it is RSA-signed.
+    SessionKeyRevoke {
+        /// The revoked key id.
+        key_id: u64,
+        /// The trace topic the key was bound to.
+        topic: Uuid,
+    },
+
     // ----- inter-broker control plane -----
     /// Broker → broker: link identification.
     NeighborHello {
@@ -623,6 +650,19 @@ impl Encode for Payload {
                 w.put_u8(60);
                 put_sealed(w, sealed);
             }
+            Payload::SessionKeyAnnounce { sealed } => {
+                w.put_u8(63);
+                put_sealed(w, sealed);
+            }
+            Payload::SessionKeyDelivery { sealed } => {
+                w.put_u8(64);
+                put_sealed(w, sealed);
+            }
+            Payload::SessionKeyRevoke { key_id, topic } => {
+                w.put_u8(65);
+                w.put_u64(*key_id);
+                w.put_uuid(topic);
+            }
             Payload::DelegationToken { token } => {
                 w.put_u8(62);
                 token.encode(w);
@@ -736,6 +776,16 @@ impl Decode for Payload {
             }),
             62 => Ok(Payload::DelegationToken {
                 token: crate::token::AuthorizationToken::decode(r)?,
+            }),
+            63 => Ok(Payload::SessionKeyAnnounce {
+                sealed: get_sealed(r)?,
+            }),
+            64 => Ok(Payload::SessionKeyDelivery {
+                sealed: get_sealed(r)?,
+            }),
+            65 => Ok(Payload::SessionKeyRevoke {
+                key_id: r.get_u64()?,
+                topic: r.get_uuid()?,
             }),
             70 => Ok(Payload::NeighborHello {
                 broker_id: r.get_str()?,
@@ -872,7 +922,17 @@ mod tests {
         round_trip(Payload::TraceKeyDelivery {
             sealed: sealed.clone(),
         });
-        round_trip(Payload::SymmetricKeySetup { sealed });
+        round_trip(Payload::SymmetricKeySetup {
+            sealed: sealed.clone(),
+        });
+        round_trip(Payload::SessionKeyAnnounce {
+            sealed: sealed.clone(),
+        });
+        round_trip(Payload::SessionKeyDelivery { sealed });
+        round_trip(Payload::SessionKeyRevoke {
+            key_id: 0xdead_beef_1234_5678,
+            topic: Uuid::from_bytes([3; 16]),
+        });
     }
 
     #[test]

@@ -297,6 +297,39 @@ mod tests {
     }
 
     #[test]
+    fn window_boundary_is_inclusive_at_both_ends() {
+        // Cross-layer contract with `Validity::contains` and session
+        // keys: acceptance exactly *at* the boundary instants, even
+        // with zero skew allowance.
+        let fx = fixture();
+        let t = token(NOW - 60_000, NOW + 60_000);
+        t.verify(
+            &fx.owner.certificate.public_key,
+            Rights::Publish,
+            NOW - 60_000,
+            0,
+        )
+        .expect("accepted at exactly valid_from_ms with zero skew");
+        t.verify(
+            &fx.owner.certificate.public_key,
+            Rights::Publish,
+            NOW + 60_000,
+            0,
+        )
+        .expect("accepted at exactly valid_until_ms with zero skew");
+        assert!(!t.is_expired(NOW + 60_000));
+        assert!(t.is_expired(NOW + 60_001));
+        assert!(t
+            .verify(
+                &fx.owner.certificate.public_key,
+                Rights::Publish,
+                NOW + 60_001,
+                0
+            )
+            .is_err());
+    }
+
+    #[test]
     fn not_yet_valid_token_rejected() {
         let fx = fixture();
         let t = token(NOW + 10_000, NOW + 60_000);

@@ -13,7 +13,7 @@
 
 use crate::codec::Reader;
 use crate::error::WireError;
-use crate::message::{SECTION_TRACE, WIRE_VERSION};
+use crate::message::{SessionTag, SECTION_SESSION, SECTION_TRACE, WIRE_VERSION};
 use crate::topic::Topic;
 use crate::Result;
 use nb_telemetry::TraceContext;
@@ -197,8 +197,14 @@ pub struct MessageView<'a> {
     /// trace section is small and fixed-width; decoding it allocates
     /// nothing).
     pub trace: Option<TraceContext>,
+    /// Decoded session authentication tag, if the frame carries one
+    /// (fixed-width; decoding allocates nothing).
+    pub session: Option<SessionTag>,
     /// Absolute offset of the trace hop-count byte within the frame.
     trace_hop_offset: Option<usize>,
+    /// The envelope head covered by signatures/MACs: everything from
+    /// just after the version byte up to the payload length prefix.
+    signable_head: &'a [u8],
 }
 
 impl<'a> MessageView<'a> {
@@ -233,6 +239,11 @@ impl<'a> MessageView<'a> {
         let sender = r.get_str_ref()?;
         let timestamp_ms = r.get_u64()?;
 
+        // Everything between the version byte and the payload length
+        // prefix is part of the signable region (the payload itself is
+        // the other part — see `signable_parts`).
+        let signable_head = &frame[1..frame.len() - r.remaining()];
+
         let payload_len = r.get_u32()? as usize;
         if payload_len > crate::codec::MAX_CHUNK_LEN {
             return Err(WireError::LengthOverflow("payload"));
@@ -245,12 +256,15 @@ impl<'a> MessageView<'a> {
         let has_mac = skip_option_bytes(&mut r)?;
 
         let mut trace = None;
+        let mut session = None;
         let mut trace_hop_offset = None;
         let sections = r.get_varint()?;
         for _ in 0..sections {
             let tag = r.get_u8()?;
             let body = r.get_bytes_ref()?;
-            if tag == SECTION_TRACE && trace.is_none() {
+            if tag == SECTION_SESSION && session.is_none() {
+                session = Some(SessionTag::from_section_bytes(body)?);
+            } else if tag == SECTION_TRACE && trace.is_none() {
                 let body_abs = frame.len() - r.remaining() - body.len();
                 let mut tr = Reader::new(body);
                 let hi = tr.get_u64()?;
@@ -282,8 +296,20 @@ impl<'a> MessageView<'a> {
             has_token,
             has_mac,
             trace,
+            session,
             trace_hop_offset,
+            signable_head,
         })
+    }
+
+    /// The two borrowed slices whose concatenation equals
+    /// [`crate::Message::signable_bytes`] for this frame: the envelope
+    /// head (id through timestamp) and the payload body, skipping the
+    /// v3 payload length prefix between them. Lets a verifier MAC the
+    /// signed region with zero copies (feed both parts to
+    /// `nb_crypto::hmac::hmac_parts`).
+    pub fn signable_parts(&self) -> [&'a [u8]; 2] {
+        [self.signable_head, self.payload]
     }
 
     /// Whether this frame carries a head-sampled trace context.

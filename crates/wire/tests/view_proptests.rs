@@ -5,7 +5,7 @@
 //! peers, and across v2 → v3 wire upgrades.
 
 use nb_wire::codec::{Decode, Encode, Writer};
-use nb_wire::message::{Message, SECTION_TRACE};
+use nb_wire::message::{Message, SessionTag, SECTION_SESSION, SECTION_TRACE};
 use nb_wire::token::{AuthorizationToken, Rights};
 use nb_wire::topic::Topic;
 use nb_wire::{topic_hash, MessageView, Payload};
@@ -63,6 +63,15 @@ fn arb_token() -> impl Strategy<Value = AuthorizationToken> {
         })
 }
 
+fn arb_session() -> impl Strategy<Value = SessionTag> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        proptest::array::uniform32(any::<u8>()),
+    )
+        .prop_map(|(key_id, seq, mac)| SessionTag { key_id, seq, mac })
+}
+
 fn arb_trace() -> impl Strategy<Value = TraceContext> {
     (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>(), any::<bool>()).prop_map(
         |(hi, lo, parent_span, hop_count, sampled)| TraceContext {
@@ -90,15 +99,24 @@ fn arb_message() -> impl Strategy<Value = Message> {
         proptest::option::of(arb_token()),
         proptest::option::of(proptest::collection::vec(any::<u8>(), 1..32)),
         proptest::option::of(arb_trace()),
+        proptest::option::of(arb_session()),
     )
         .prop_map(
-            |((id, correlation_id, topic, sender, timestamp_ms, payload), sig, token, mac, trace)| {
+            |(
+                (id, correlation_id, topic, sender, timestamp_ms, payload),
+                sig,
+                token,
+                mac,
+                trace,
+                session,
+            )| {
                 let mut m = Message::new(id, topic, sender, timestamp_ms, payload)
                     .correlated(correlation_id);
                 m.signature = sig;
                 m.token = token;
                 m.mac = mac;
                 m.trace = trace;
+                m.session = session;
                 m
             },
         )
@@ -155,6 +173,7 @@ fn assert_view_agrees(bytes: &[u8], m: &Message) {
     assert_eq!(v.has_token, m.token.is_some());
     assert_eq!(v.has_mac, m.mac.is_some());
     assert_eq!(v.trace, m.trace);
+    assert_eq!(v.session, m.session);
     assert!(v.topic.eq_topic(&m.topic));
     assert_eq!(v.topic.to_topic().unwrap(), m.topic);
     assert_eq!(v.topic.hash64(), topic_hash(&m.topic));
@@ -184,17 +203,24 @@ proptest! {
         m in arb_message(),
         unknown in proptest::collection::vec(
             (
-                (2u64..256).prop_map(|t| t as u8),
+                // Tags 1 (trace) and 2 (session) are known; everything
+                // above is an extension from a hypothetical newer peer.
+                (3u64..256).prop_map(|t| t as u8),
                 proptest::collection::vec(any::<u8>(), 0..40),
             ),
             1..4,
         ),
         trace_at in any::<usize>(),
+        session_at in any::<usize>(),
     ) {
         let mut sections: Vec<(u8, Vec<u8>)> = unknown;
         if let Some(ctx) = &m.trace {
             let at = trace_at % (sections.len() + 1);
             sections.insert(at, (SECTION_TRACE, trace_section_body(ctx)));
+        }
+        if let Some(tag) = &m.session {
+            let at = session_at % (sections.len() + 1);
+            sections.insert(at, (SECTION_SESSION, tag.to_section_bytes()));
         }
         let bytes = encode_v3_with_sections(&m, &sections);
         // The owned decoder recovers the message exactly, ignoring
